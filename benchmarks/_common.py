@@ -1,0 +1,53 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one experiment row/series from DESIGN.md's index
+(a theorem, lemma, or figure of the paper).  Because the quantity of
+interest is usually *simulated rounds* rather than wall time, each bench:
+
+1. runs its sweep once inside ``benchmark.pedantic`` (wall time recorded
+   as a by-product),
+2. renders the same table EXPERIMENTS.md quotes, and
+3. writes it to ``benchmarks/results/<name>.txt`` (and stdout) so results
+   survive pytest's output capture.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# src-layout import support when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+__all__ = ["RESULTS_DIR", "report", "once", "work_rounds"]
+
+
+def work_rounds(ledger) -> int:
+    """Rounds minus the one-round-per-step floor.
+
+    Every bulk step costs at least one round when any traffic crosses a
+    link; with O(log^2 n) steps per run this additive term is the
+    "+ polylog(n)" of the paper's O~ notation.  Subtracting it isolates
+    the bandwidth-bound work term that the n/k^2 factor governs.
+    """
+    return sum(max(0, s.rounds - 1) for s in ledger.steps)
+
+
+def report(name: str, text: str) -> None:
+    """Print ``text`` and persist it under benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n=== {name} ===\n{text}")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark; return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,144 @@
+"""EXP T1-b — Theorem 1 vs the warm-up baselines (Section 2).
+
+The paper's positioning, reproduced as measurements:
+
+* flooding costs Theta(n/k + D) rounds — it loses to the sketch algorithm
+  on high-diameter graphs (Table A);
+* gather-at-referee costs Theta~(m/k) rounds and Theta(m log n) bits, and
+  the no-sketch Boruvka ships Theta(m log n) bits in label-sync traffic —
+  both scale with m, while the sketch algorithm's communication volume is
+  Theta~(n), independent of m (Table B: the m-sweep, reporting rounds and
+  megabits; the crossover in *bits* is the quantity the Section-4 lower
+  bound actually governs).
+
+Absolute round constants favour baselines at simulatable scales (a sketch
+message is ~3 orders of magnitude larger than a label), so the asymptotic
+round advantage over enumerate-style Boruvka materializes beyond feasible
+k; EXPERIMENTS.md records this honestly.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import once, report
+from repro import KMachineCluster, connected_components_distributed, generators
+from repro.analysis import fit_power_law, format_table
+from repro.baselines import (
+    boruvka_nosketch,
+    flooding_connectivity,
+    referee_connectivity,
+)
+
+import numpy as np
+
+
+def test_flooding_loses_on_diameter(benchmark):
+    k = 16
+    sizes = (2048, 4096, 8192)
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            g = generators.path_graph(n)
+            cl = KMachineCluster.create(g, k=k, seed=3)
+            ours = connected_components_distributed(cl, seed=3).rounds
+            cl = KMachineCluster.create(g, k=k, seed=3)
+            flood = flooding_connectivity(cl).rounds
+            rows.append((n, ours, flood, flood / ours))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = format_table(
+        ["n (path, D=n-1)", "sketch rounds", "flooding rounds", "flooding/sketch"],
+        rows,
+        title=f"Theorem 1 vs flooding on high-diameter graphs (k={k})",
+    )
+    table += "\npaper: flooding = Theta(n/k + D); sketches are diameter-independent"
+    report("T1_crossover_flooding", table)
+    for _, ours, flood, _ in rows:
+        assert ours < flood
+    # The gap must widen with n (flooding pays D = n - 1).
+    assert rows[-1][3] > rows[0][3]
+
+
+def test_volume_crossover_in_m(benchmark):
+    n, k = 1024, 8
+    ms = (8 * n, 32 * n, 128 * n, 510 * n)
+
+    def sweep():
+        rows = []
+        for m in ms:
+            g = generators.gnm_random(n, m, seed=4)
+            cl = KMachineCluster.create(g, k=k, seed=4)
+            ours = connected_components_distributed(cl, seed=4)
+            ours_bits = cl.ledger.total_bits
+            cl = KMachineCluster.create(g, k=k, seed=4)
+            refr = referee_connectivity(cl)
+            refr_bits = cl.ledger.total_bits
+            cl = KMachineCluster.create(g, k=k, seed=4)
+            nosk = boruvka_nosketch(cl, seed=4)
+            nosk_bits = cl.ledger.total_bits
+            rows.append(
+                (
+                    m,
+                    ours.rounds,
+                    refr.rounds,
+                    nosk.rounds,
+                    ours_bits / 1e6,
+                    refr_bits / 1e6,
+                    nosk_bits / 1e6,
+                )
+            )
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = format_table(
+        [
+            "m",
+            "sketch rnds",
+            "referee rnds",
+            "nosketch rnds",
+            "sketch Mbit",
+            "referee Mbit",
+            "nosketch Mbit",
+        ],
+        rows,
+        title=f"Theorem 1 vs m-bound baselines - m sweep (n={n}, k={k})",
+    )
+    ms_f = np.array([r[0] for r in rows], dtype=float)
+    ours_bits = np.array([r[4] for r in rows])
+    refr_bits = np.array([r[5] for r in rows])
+    nosk_bits = np.array([r[6] for r in rows])
+    f_ours = fit_power_law(ms_f, ours_bits)
+    f_refr = fit_power_law(ms_f, refr_bits)
+    f_nosk = fit_power_law(ms_f, nosk_bits)
+
+    def crossover(fa, fb):
+        """m where model a starts beating model b (from the fitted laws)."""
+        if fb.exponent <= fa.exponent:
+            return float("inf")
+        return (fa.constant / fb.constant) ** (1.0 / (fb.exponent - fa.exponent))
+
+    x_refr = crossover(f_ours, f_refr)
+    x_nosk = crossover(f_ours, f_nosk)
+    table += (
+        f"\nbits scaling with m: sketch ~ m^{f_ours.exponent:.2f},"
+        f" referee ~ m^{f_refr.exponent:.2f}, nosketch ~ m^{f_nosk.exponent:.2f}"
+        f"\nextrapolated bits crossover: sketch beats referee at m ~ {x_refr:.3g},"
+        f" beats nosketch at m ~ {x_nosk:.3g}"
+        "\npaper: sketch communication is O~(n), independent of m; baselines are"
+        " Theta~(m).  A sketch message is O(log^2 n) bits vs O(log n) per"
+        " enumerated edge, so the absolute crossover sits at average degree"
+        " ~polylog(n) - beyond this sweep; the *slopes* are the reproduced claim."
+    )
+    report("T1_crossover_m_sweep", table)
+    # Sketch communication must be (near) m-independent; baselines ~linear.
+    assert f_ours.exponent < 0.3
+    assert f_refr.exponent > 0.8
+    assert f_nosk.exponent > 0.8
+    # The fitted laws must cross at finite m (the asymptotic win exists).
+    assert np.isfinite(x_refr) and x_refr > ms_f[-1]
+    assert np.isfinite(x_nosk)
+    # Rounds: the sketch algorithm is flat in m while the referee's grow;
+    # the gap must shrink monotonically toward the crossover.
+    gaps = [r[1] / r[2] for r in rows]
+    assert gaps[-1] < gaps[0] / 10

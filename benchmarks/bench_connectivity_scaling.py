@@ -1,0 +1,101 @@
+"""EXP T1-k / T1-n — Theorem 1: connectivity runs in O~(n/k^2) rounds.
+
+Regenerates the paper's headline claims as measured series:
+
+* ``test_rounds_vs_k`` — fixed n, sweep k: the round count must fall
+  *superlinearly* in k (the prior best bound of Klauck et al. is O~(n/k),
+  i.e. linear speedup; Theorem 1's point is beating it).  We report both
+  raw rounds and the *work* term (raw minus the one-round-per-step floor —
+  the additive "+polylog" of the O~ notation), with power-law fits.
+* ``test_rounds_vs_n`` — fixed k and fixed bandwidth, sweep n: the work
+  term grows ~ linearly in n.  (Bandwidth is held constant across the
+  sweep; the model's B = polylog(n) would otherwise mix a log^2 n factor
+  into the measured exponent.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import once, report, work_rounds
+from repro import KMachineCluster, connected_components_distributed, generators
+from repro.analysis import fit_power_law, format_table
+from repro.cluster import ClusterTopology
+from repro.util.bits import polylog_bandwidth
+
+KS = (2, 4, 8, 16, 32)
+NS = (1024, 2048, 4096, 8192)
+
+
+def test_rounds_vs_k(benchmark):
+    n = 4096
+    g = generators.gnm_random(n, 3 * n, seed=1)
+
+    def sweep():
+        rows = []
+        for k in KS:
+            cl = KMachineCluster.create(g, k=k, seed=1)
+            res = connected_components_distributed(cl, seed=1)
+            rows.append((k, res.rounds, work_rounds(cl.ledger), res.phases))
+        return rows
+
+    rows = once(benchmark, sweep)
+    ks = np.array([r[0] for r in rows], dtype=float)
+    raw = np.array([r[1] for r in rows], dtype=float)
+    work = np.array([max(r[2], 1) for r in rows], dtype=float)
+    fit_raw = fit_power_law(ks, raw)
+    fit_work = fit_power_law(ks, work)
+    speedup = raw[0] / raw
+    linear = ks / ks[0]
+    table = format_table(
+        ["k", "rounds", "work", "phases", "speedup", "speedup/linear"],
+        [
+            (r[0], r[1], r[2], r[3], float(s), float(s / l))
+            for r, s, l in zip(rows, speedup, linear)
+        ],
+        title=f"Theorem 1 - connectivity rounds vs k (n={n}, m={3*n})",
+    )
+    table += (
+        f"\nfit: rounds ~ k^{fit_raw.exponent:.2f} (R^2={fit_raw.r_squared:.3f});"
+        f" work ~ k^{fit_work.exponent:.2f} (R^2={fit_work.r_squared:.3f})"
+        f"\npaper: O~(n/k^2) -> superlinear speedup in k (prior bound O~(n/k) is linear)"
+    )
+    report("T1_rounds_vs_k", table)
+    benchmark.extra_info["exponent_raw"] = fit_raw.exponent
+    benchmark.extra_info["exponent_work"] = fit_work.exponent
+    # Superlinear speedup: strictly better than the linear O~(n/k) scaling.
+    assert speedup[-1] > linear[-1]
+    assert fit_raw.exponent < -1.05
+    assert fit_work.exponent < -1.2
+
+
+def test_rounds_vs_n(benchmark):
+    k = 8
+    bw = polylog_bandwidth(max(NS))
+    topo = ClusterTopology(k=k, bandwidth_bits=bw)
+
+    def sweep():
+        rows = []
+        for n in NS:
+            g = generators.gnm_random(n, 3 * n, seed=2)
+            cl = KMachineCluster.create(g, k=k, seed=2, topology=topo)
+            res = connected_components_distributed(cl, seed=2)
+            rows.append((n, res.rounds, work_rounds(cl.ledger), res.phases))
+        return rows
+
+    rows = once(benchmark, sweep)
+    ns = np.array([r[0] for r in rows], dtype=float)
+    work = np.array([max(r[2], 1) for r in rows], dtype=float)
+    fit = fit_power_law(ns, work)
+    table = format_table(
+        ["n", "rounds", "work", "phases"],
+        rows,
+        title=f"Theorem 1 - connectivity rounds vs n (k={k}, m=3n, fixed B={bw})",
+    )
+    table += (
+        f"\nfit: work ~ n^{fit.exponent:.2f}  (R^2={fit.r_squared:.3f});"
+        " paper: ~n^1 at fixed k (work term)"
+    )
+    report("T1_rounds_vs_n", table)
+    benchmark.extra_info["exponent_work"] = fit.exponent
+    assert 0.7 < fit.exponent < 1.3

@@ -1,0 +1,79 @@
+"""EXP L6 / Figure 2 — Lemma 6: DRR trees have depth O(log n) w.h.p.
+
+Reproduces the appendix experiment implicitly drawn in Figure 2: build the
+DRR forest over n singleton components arranged in the worst merging
+topology (a ring, so every component has an outgoing pointer) and measure
+tree depth against the paper's 6 log(n+1) w.h.p. bound and the log(n+1)
+expectation bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import once, report
+from repro.analysis import format_table
+from repro.cluster import KMachineCluster
+from repro.core.drr import build_drr_forest
+from repro.core.labels import PartIndex, initial_labels
+from repro.core.outgoing import OutgoingSelection
+from repro.graphs import generators
+from repro.util.rng import SeedStream
+
+SEEDS = range(12)
+
+
+def _ring_forest(n, seed):
+    g = generators.cycle_graph(n)
+    cl = KMachineCluster.create(g, k=4, seed=seed)
+    labels = initial_labels(n)
+    parts = PartIndex.build(labels, cl.partition)
+    c = parts.n_components
+    nxt = (parts.comp_labels + 1) % n
+    sel = OutgoingSelection(
+        parts=parts,
+        comp_proxy=np.zeros(c, dtype=np.int64),
+        sketch_nonzero=np.ones(c, dtype=bool),
+        found=np.ones(c, dtype=bool),
+        slot=np.zeros(c, dtype=np.int64),
+        internal_vertex=parts.comp_labels.copy(),
+        foreign_vertex=nxt.copy(),
+        neighbor_label=nxt.copy(),
+        edge_weight=np.full(c, np.nan),
+    )
+    return build_drr_forest(parts, sel, SeedStream(seed))
+
+
+def test_depth_vs_n(benchmark):
+    ns = (256, 1024, 4096, 16384, 65536)
+
+    def sweep():
+        rows = []
+        for n in ns:
+            depths = [_ring_forest(n, 1000 * n + s).max_depth for s in SEEDS]
+            bound = 6 * np.log(n + 1)
+            rows.append(
+                (
+                    n,
+                    float(np.mean(depths)),
+                    int(np.max(depths)),
+                    float(np.log(n + 1)),
+                    float(bound),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = format_table(
+        ["n", "mean depth", "max depth", "ln(n+1)", "6 ln(n+1) bound"],
+        rows,
+        title=f"Lemma 6 / Figure 2 - DRR tree depth over {len(list(SEEDS))} seeds",
+    )
+    table += "\npaper: depth O(log n) w.h.p.; E[path length] <= log(n+1) (appendix)"
+    report("L6_drr_depth", table)
+    for n, mean_d, max_d, ln_n, bound in rows:
+        assert max_d <= bound
+        assert mean_d <= 3 * ln_n
+    # Depth grows (at most) logarithmically: 256x more components adds
+    # only a constant factor to depth.
+    assert rows[-1][2] <= rows[0][2] + 4 * np.log(ns[-1] / ns[0] + 1)

@@ -1,0 +1,85 @@
+"""EXP T5 / Figure 1 — the Omega~(n/k^2) lower-bound simulation (Section 4).
+
+Builds the Figure-1 SCS instances from random-partition disjointness
+inputs, runs the real Theorem-4 SCS protocol under the Alice/Bob machine
+split, and measures:
+
+* protocol correctness on disjoint and intersecting instances,
+* the bits crossing the Alice/Bob cut — Lemma 8 forces Omega(b) for any
+  correct protocol family; the measured traffic must grow ~ linearly in b,
+* the simulation inequality cut_bits <= rounds * (k^2/4) * 2B — the step
+  that converts the communication bound into the Omega~(n/k^2) round bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import once, report
+from repro.analysis import fit_power_law, format_table
+from repro.lowerbounds import make_instance, simulate_scs_protocol, trivial_protocol_bits
+
+BS = (64, 128, 256, 512, 1024)
+K = 8
+
+
+def test_cut_traffic_scaling(benchmark):
+    def sweep():
+        rows = []
+        for b in BS:
+            out = simulate_scs_protocol(b=b, k=K, seed=b, intersecting=False)
+            assert out.correct
+            trivial = trivial_protocol_bits(make_instance(b, seed=b, intersecting=False))
+            rows.append(
+                (
+                    b,
+                    out.rounds,
+                    out.cut_bits,
+                    out.cut_bits / b,
+                    trivial,
+                    out.cut_bits <= out.cut_capacity_bits,
+                )
+            )
+        return rows
+
+    rows = once(benchmark, sweep)
+    bs = np.array([r[0] for r in rows], dtype=float)
+    cut = np.array([r[2] for r in rows], dtype=float)
+    fit = fit_power_law(bs, cut)
+    table = format_table(
+        ["b", "rounds", "cut bits", "cut bits / b", "trivial-protocol bits", "capacity ok"],
+        rows,
+        title=f"Theorem 5 / Figure 1 - SCS 2-party simulation (k={K}, n=2b+2)",
+    )
+    table += (
+        f"\nfit: cut_bits ~ b^{fit.exponent:.2f} (R^2={fit.r_squared:.3f});"
+        " Lemma 8: Omega(b) bits must cross the cut"
+        "\nsimulation inequality: cut_bits <= rounds * (k^2/4) * 2B held at every point"
+    )
+    report("T5_scs_lowerbound", table)
+    assert fit.exponent > 0.7, "cut traffic must grow ~ linearly in b"
+    assert all(r[5] for r in rows), "simulation inequality must hold"
+    # Any correct protocol's cut traffic dominates Omega(b): ours carries
+    # at least one bit per gadget.
+    assert all(r[2] >= r[0 + 0] for r in rows)
+
+
+def test_both_answers_correct(benchmark):
+    def sweep():
+        rows = []
+        for b in (128, 512):
+            for intersecting in (False, True):
+                out = simulate_scs_protocol(
+                    b=b, k=K, seed=7 * b + int(intersecting), intersecting=intersecting
+                )
+                rows.append((b, intersecting, out.answer, out.expected, out.correct))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = format_table(
+        ["b", "intersecting", "protocol answer", "expected", "correct"],
+        rows,
+        title="Theorem 5 - protocol correctness on the reduction instances",
+    )
+    report("T5_scs_correctness", table)
+    assert all(r[4] for r in rows)

@@ -1,0 +1,82 @@
+"""EXP T3 — Theorem 3: O(log n)-approximate min-cut in O~(n/k^2) rounds.
+
+Plants cuts of known size, runs the sampling + connectivity-testing
+algorithm, and reports the measured approximation factor against the
+O(log n) envelope.  The estimator's resolution is one doubling level, so
+each cut size is run over several seeds and the median is reported; the
+estimate must (a) stay inside c*ln(n) of the truth in both directions and
+(b) order the planted cuts correctly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks._common import once, report
+from repro import KMachineCluster, generators, mincut_approx_distributed
+from repro.analysis import format_table
+from repro.graphs import reference as ref
+
+
+def test_approximation_factor(benchmark):
+    n = 400
+    cuts = (2, 8, 32)
+    seeds = (1, 2, 3)
+
+    def sweep():
+        rows = []
+        for c in cuts:
+            g = generators.planted_cut_graph(n, cut_size=c, inner_degree=48, seed=c)
+            truth = ref.stoer_wagner_mincut(g)
+            estimates = []
+            for s in seeds:
+                cl = KMachineCluster.create(g, k=8, seed=s)
+                estimates.append(mincut_approx_distributed(cl, seed=s).estimate)
+            med = float(np.median(estimates))
+            rows.append((c, truth, med, med / truth))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = format_table(
+        ["planted cut", "true cut", "median estimate", "factor"],
+        rows,
+        title=f"Theorem 3 - min-cut approximation, median of {len(seeds)} seeds (n={n}, k=8)",
+    )
+    envelope = 16 * math.log(n)
+    table += (
+        f"\npaper: O(log n)-approximation; envelope c*ln n = {envelope:.0f};"
+        " one-sided bias ~ln n is inherent to the Karger-threshold estimator"
+    )
+    report("T3_mincut_factor", table)
+    for _, truth, est, _ in rows:
+        assert truth / envelope <= est <= truth * envelope
+    # Estimates must order the planted cuts (monotone in the truth).
+    ests = [r[2] for r in rows]
+    assert ests[0] <= ests[1] <= ests[2]
+    assert ests[2] > ests[0]
+
+
+def test_rounds_vs_k(benchmark):
+    n = 2048
+    g = generators.planted_cut_graph(n, cut_size=4, inner_degree=12, seed=7)
+
+    def sweep():
+        rows = []
+        for k in (2, 4, 8, 16):
+            cl = KMachineCluster.create(g, k=k, seed=7)
+            res = mincut_approx_distributed(cl, seed=7)
+            rows.append((k, res.rounds, res.disconnect_level))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = format_table(
+        ["k", "rounds", "level i*"],
+        rows,
+        title=f"Theorem 3 - min-cut rounds vs k (n={n})",
+    )
+    rounds = np.array([r[1] for r in rows], dtype=float)
+    table += f"\nspeedup k=2 -> k=16: {rounds[0] / rounds[-1]:.1f}x (linear would be 8x)"
+    report("T3_mincut_rounds", table)
+    assert rounds[0] / rounds[-1] > 8.0  # superlinear

@@ -1,0 +1,110 @@
+"""EXP T2-a / T2-b — Theorem 2: MST in O~(n/k^2), strict output in Theta~(n/k).
+
+* ``test_mst_rounds_vs_k`` — the MST algorithm inherits the connectivity
+  scaling (superlinear speedup in k) and must produce the exact MST
+  (unique weights) at every point.
+* ``test_strict_vs_relaxed`` — Theorem 2(b): requiring every MST edge to
+  be announced to *both* endpoint home machines costs extra rounds that
+  grow like n/k on a star (the centre's home machine must receive
+  Omega(n) bits over its k-1 links), while the relaxed criterion's total
+  stays O~(n/k^2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import once, report, work_rounds
+from repro import KMachineCluster, generators, minimum_spanning_tree_distributed
+from repro.analysis import fit_power_law, format_table
+from repro.graphs import reference as ref
+
+KS = (2, 4, 8, 16)
+
+
+def test_mst_rounds_vs_k(benchmark):
+    n = 2048
+    g = generators.with_unique_weights(generators.gnm_random(n, 4 * n, seed=5), seed=5)
+    want = ref.mst_weight(g, ref.kruskal_mst(g))
+
+    def sweep():
+        rows = []
+        for k in KS:
+            cl = KMachineCluster.create(g, k=k, seed=5)
+            res = minimum_spanning_tree_distributed(cl, seed=5)
+            assert res.total_weight == want, "MST must be exact at every k"
+            rows.append((k, res.rounds, work_rounds(cl.ledger), res.phases, res.certified))
+        return rows
+
+    rows = once(benchmark, sweep)
+    ks = np.array([r[0] for r in rows], dtype=float)
+    raw = np.array([r[1] for r in rows], dtype=float)
+    work = np.array([max(r[2], 1) for r in rows], dtype=float)
+    fit_raw = fit_power_law(ks, raw)
+    fit_work = fit_power_law(ks, work)
+    table = format_table(
+        ["k", "rounds", "work", "phases", "certified"],
+        rows,
+        title=f"Theorem 2a - MST rounds vs k (n={n}, m={4*n}, unique weights)",
+    )
+    table += (
+        f"\nfit: rounds ~ k^{fit_raw.exponent:.2f}; work ~ k^{fit_work.exponent:.2f};"
+        " paper: O~(n/k^2), superlinear in k"
+    )
+    report("T2_mst_rounds_vs_k", table)
+    speedup = raw[0] / raw[-1]
+    assert speedup > ks[-1] / ks[0], "superlinear speedup required"
+    assert fit_work.exponent < -1.2
+
+
+def test_strict_vs_relaxed(benchmark):
+    from repro.cluster import ClusterTopology
+    from repro.util.bits import polylog_bandwidth
+
+    k = 8
+    sizes = (2048, 8192, 32768)
+    # Fixed bandwidth across the sweep so the announce-cost exponent is not
+    # diluted by B = polylog(n); work term strips the per-phase floor.
+    topo = ClusterTopology(k=k, bandwidth_bits=polylog_bandwidth(max(sizes)))
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            g = generators.with_unique_weights(generators.star_graph(n), seed=6)
+            cl = KMachineCluster.create(g, k=k, seed=6, topology=topo)
+            relaxed = minimum_spanning_tree_distributed(cl, seed=6, output="relaxed")
+            cl2 = KMachineCluster.create(g, k=k, seed=6, topology=topo)
+            strict = minimum_spanning_tree_distributed(cl2, seed=6, output="strict")
+            strict_steps = [s for s in cl2.ledger.steps if s.label.startswith("strict-output")]
+            announce_work = sum(max(0, s.rounds - 1) for s in strict_steps)
+            centre_bits = int(
+                sum(
+                    s.total_bits
+                    for s in cl2.ledger.steps
+                    if s.label.startswith("strict-output")
+                )
+            )
+            rows.append((n, relaxed.rounds, strict.rounds, announce_work, centre_bits))
+        return rows
+
+    rows = once(benchmark, sweep)
+    ns = np.array([r[0] for r in rows], dtype=float)
+    announce = np.array([max(r[3], 1) for r in rows], dtype=float)
+    bits = np.array([r[4] for r in rows], dtype=float)
+    fit = fit_power_law(ns, announce)
+    fit_bits = fit_power_law(ns, bits)
+    table = format_table(
+        ["n (star)", "relaxed rounds", "strict rounds", "announce work", "announce bits"],
+        rows,
+        title=f"Theorem 2b - strict vs relaxed MST output on stars (k={k}, fixed B)",
+    )
+    table += (
+        f"\nfit: announce work ~ n^{fit.exponent:.2f}, announce bits ~ n^{fit_bits.exponent:.2f};"
+        " paper: strict output needs Omega~(n/k) extra (centre machine receives Omega(n) bits)"
+    )
+    report("T2_strict_vs_relaxed", table)
+    for _, relaxed, strict, _, _ in rows:
+        assert strict >= relaxed
+    assert rows[-1][2] > rows[-1][1], "strict must cost extra at scale"
+    assert fit_bits.exponent > 0.9, "centre machine must receive Omega(n) bits"
+    assert fit.exponent > 0.7, "announcement work must grow ~ linearly in n"

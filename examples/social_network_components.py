@@ -1,0 +1,80 @@
+"""Social-network scenario: components of a power-law graph under failures.
+
+The paper's motivation (Section 1) is graph processing at Pregel/Giraph
+scale — social networks with heavy-tailed degree distributions.  This
+example builds a preferential-attachment graph, knocks out a growing
+fraction of edges (simulated link failures), and tracks connected
+components with the distributed algorithm — comparing its rounds against
+the flooding baseline a Giraph job would effectively run, and exhibiting
+the superlinear speedup in k that Theorem 1 promises.
+
+Run:  python examples/social_network_components.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import KMachineCluster, connected_components_distributed, generators, reference
+from repro.analysis import print_table
+from repro.baselines import flooding_connectivity
+from repro.util.rng import SeedStream
+
+
+def main() -> None:
+    n = 3000
+    print(f"Building a preferential-attachment network (n={n}, 2 links per newcomer)...")
+    g = generators.powerlaw_preferential(n, attach=2, seed=7)
+    deg = np.asarray(g.degree())
+    print(f"  m={g.m}, max degree {deg.max()} (median {int(np.median(deg))}) - heavy tail")
+
+    print("\nComponent tracking under random edge failures (k=8):")
+    rows = []
+    stream = SeedStream(99)
+    u01 = stream.keyed_uniform(np.arange(g.m, dtype=np.uint64))
+    for fail_frac in (0.0, 0.3, 0.6, 0.8):
+        sub = g.subgraph(u01 >= fail_frac)
+        cluster = KMachineCluster.create(sub, k=8, seed=7)
+        res = connected_components_distributed(cluster, seed=7)
+        truth = reference.count_components(sub)
+        assert res.n_components == truth
+        giant = int(np.bincount(res.canonical()).max())
+        rows.append((f"{fail_frac:.0%}", sub.m, res.n_components, giant, res.rounds))
+    print_table(
+        ["failed edges", "m", "components", "giant size", "rounds"],
+        rows,
+        title="distributed component census (matches sequential reference)",
+    )
+
+    print("\nSpeedup in k on the intact network (Theorem 1 vs flooding):")
+    rows = []
+    for k in (2, 4, 8, 16):
+        cluster = KMachineCluster.create(g, k=k, seed=7)
+        ours = connected_components_distributed(cluster, seed=7).rounds
+        cluster = KMachineCluster.create(g, k=k, seed=7)
+        flood = flooding_connectivity(cluster).rounds
+        rows.append((k, ours, flood))
+    base = rows[0][1]
+    print_table(
+        ["k", "sketch rounds", "flooding rounds"],
+        rows,
+        title="rounds vs machines",
+    )
+    print(
+        f"speedup from k=2 to k=16: {base / rows[-1][1]:.1f}x with 8x machines"
+        " (superlinear, as Theorem 1 predicts)"
+    )
+    print(
+        "note: flooding is cheap here because social networks have tiny diameter\n"
+        "(Theta(n/k + D) with D ~ log n); on high-diameter graphs it degrades to\n"
+        "Theta(n) rounds - see benchmarks/bench_baselines_crossover.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setuptools shim.
+
+This offline environment has setuptools but not ``wheel``, so PEP 660
+editable installs (``pip install -e .`` with build isolation) fail with
+``invalid command 'bdist_wheel'``.  This shim enables the legacy editable
+path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro — reproduction of *Fast Distributed Algorithms for Connectivity and
+MST in Large Graphs* (Pandurangan, Robinson, Scquizzato; SPAA 2016).
+
+The package implements the **k-machine model** (a.k.a. the Big Data model)
+as an instrumented simulator, the paper's O~(n/k^2)-round algorithms for
+connectivity / MST / approximate min-cut / graph verification, the
+substrates they rely on (linear l0-sampling graph sketches, distributed
+random ranking, randomized proxy routing), the baselines the paper compares
+against analytically, and the Section-4 lower-bound simulations.
+
+Quickstart
+----------
+>>> from repro import generators, KMachineCluster, connected_components_distributed
+>>> g = generators.gnm_random(n=1000, m=4000, seed=7)
+>>> cluster = KMachineCluster.create(g, k=8, seed=7)
+>>> result = connected_components_distributed(cluster, seed=7)
+>>> result.n_components
+1
+
+See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
+system inventory.
+"""
+
+from repro.graphs import Graph, GraphBuilder, generators, reference
+from repro.cluster import ClusterTopology, KMachineCluster, RoundLedger
+from repro.core import (
+    ConnectivityResult,
+    MinCutResult,
+    MSTResult,
+    connected_components_distributed,
+    count_components_distributed,
+    mincut_approx_distributed,
+    minimum_spanning_tree_distributed,
+    verify,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterTopology",
+    "ConnectivityResult",
+    "Graph",
+    "GraphBuilder",
+    "KMachineCluster",
+    "MSTResult",
+    "MinCutResult",
+    "RoundLedger",
+    "connected_components_distributed",
+    "count_components_distributed",
+    "generators",
+    "mincut_approx_distributed",
+    "minimum_spanning_tree_distributed",
+    "reference",
+    "verify",
+]

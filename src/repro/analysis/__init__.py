@@ -1,0 +1,21 @@
+"""Experiment support: scaling fits, text tables, sweep running."""
+
+from repro.analysis.experiments import aggregate, run_sweep
+from repro.analysis.scaling import (
+    PowerLawFit,
+    fit_power_law,
+    fit_power_law_stripped,
+    ratio_table,
+)
+from repro.analysis.tables import format_table, print_table
+
+__all__ = [
+    "PowerLawFit",
+    "aggregate",
+    "fit_power_law",
+    "fit_power_law_stripped",
+    "format_table",
+    "print_table",
+    "ratio_table",
+    "run_sweep",
+]

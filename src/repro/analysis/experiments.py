@@ -1,0 +1,68 @@
+"""Sweep runner: cartesian parameter grids with seed fans.
+
+Benchmarks and examples share this thin harness so every experiment is a
+declarative (grid, runner) pair producing a list of record dicts, which
+:mod:`repro.analysis.tables` renders and :mod:`repro.analysis.scaling`
+fits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["run_sweep", "aggregate"]
+
+
+def run_sweep(
+    grid: Mapping[str, Sequence[object]],
+    runner: Callable[..., Mapping[str, object]],
+    seeds: Iterable[int] = (0,),
+) -> list[dict[str, object]]:
+    """Run ``runner(**point, seed=s)`` over the grid x seeds product.
+
+    Each result record is the runner's returned mapping merged with the
+    grid point and seed, so downstream code can group/fit freely.
+    """
+    keys = list(grid.keys())
+    records: list[dict[str, object]] = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        point = dict(zip(keys, values))
+        for seed in seeds:
+            out = runner(**point, seed=seed)
+            rec: dict[str, object] = dict(point)
+            rec["seed"] = seed
+            rec.update(out)
+            records.append(rec)
+    return records
+
+
+def aggregate(
+    records: list[dict[str, object]],
+    group_by: Sequence[str],
+    fields: Sequence[str],
+) -> list[dict[str, object]]:
+    """Mean-aggregate numeric ``fields`` over records sharing ``group_by`` keys.
+
+    Preserves first-seen group order (matching sweep order).
+    """
+    groups: dict[tuple, list[dict[str, object]]] = {}
+    order: list[tuple] = []
+    for rec in records:
+        key = tuple(rec[g] for g in group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(rec)
+    out: list[dict[str, object]] = []
+    for key in order:
+        bucket = groups[key]
+        row: dict[str, object] = dict(zip(group_by, key))
+        for f in fields:
+            vals = np.asarray([float(r[f]) for r in bucket], dtype=np.float64)  # type: ignore[arg-type]
+            row[f] = float(vals.mean())
+        row["n_samples"] = len(bucket)
+        out.append(row)
+    return out

@@ -1,0 +1,26 @@
+"""Baselines the paper compares against analytically, implemented honestly.
+
+* :mod:`repro.baselines.flooding` — label flooding, Theta(n/k + D).
+* :mod:`repro.baselines.boruvka_nosketch` — GHS-style Boruvka without
+  sketches/proxies, O~(n/k) with Theta(m)-message phases.
+* :mod:`repro.baselines.referee` — gather-at-referee, Theta~(m/k).
+* :mod:`repro.baselines.rep` — the Section-1.3 random-edge-partition model,
+  Theta~(n/k).
+"""
+
+from repro.baselines.boruvka_nosketch import NoSketchResult, boruvka_nosketch
+from repro.baselines.flooding import FloodingResult, flooding_connectivity
+from repro.baselines.referee import RefereeResult, referee_connectivity
+from repro.baselines.rep import REPResult, rep_connectivity, rep_mst
+
+__all__ = [
+    "FloodingResult",
+    "NoSketchResult",
+    "REPResult",
+    "RefereeResult",
+    "boruvka_nosketch",
+    "flooding_connectivity",
+    "referee_connectivity",
+    "rep_connectivity",
+    "rep_mst",
+]

@@ -1,0 +1,124 @@
+"""The Conversion Theorem of Klauck et al. (SODA 2015), used as a baseline.
+
+Theorem 4.1 of [22] (as discussed in Section 2 of our paper): any
+congested-clique algorithm A with message complexity M, round complexity T,
+and at most Delta' messages sent/received per node per round can be
+simulated in the k-machine model in
+
+    O~(M / k^2 + Delta' * T / k)   rounds, w.h.p.
+
+The paper's warm-up observation: classical algorithms (GHS, flooding) have
+Delta' as large as the maximum degree, so their converted complexity is
+Omega~(n/k) at best — the barrier the sketch-based algorithm breaks.
+
+Two entry points:
+
+* :func:`conversion_bound` — the closed-form bound (for tables).
+* :class:`CongestedCliqueTrace` + :func:`replay_trace` — replay an actual
+  CC execution through a cluster ledger: each CC round's vertex-to-vertex
+  messages are mapped to machine-to-machine traffic and charged exactly.
+  This is how :mod:`repro.baselines.flooding` obtains its honest k-machine
+  round count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import KMachineCluster
+from repro.util.bits import ceil_div
+
+__all__ = ["CongestedCliqueTrace", "conversion_bound", "replay_trace"]
+
+
+def conversion_bound(
+    message_complexity: int,
+    rounds_cc: int,
+    delta_prime: int,
+    k: int,
+    message_bits: int,
+    bandwidth_bits: int,
+) -> int:
+    """Closed-form Conversion-Theorem round bound (constants made explicit).
+
+    ``M * message_bits`` total traffic spread over ~k^2/2 directed links,
+    plus per-CC-round serialization of ``Delta' * message_bits`` bits
+    through a single machine's k-1 links.
+    """
+    links = max(1, k * (k - 1))
+    term_volume = ceil_div(message_complexity * message_bits, links * bandwidth_bits // 2 + 1)
+    term_degree = rounds_cc * ceil_div(delta_prime * message_bits, (k - 1) * bandwidth_bits)
+    return term_volume + max(rounds_cc, term_degree)
+
+
+@dataclass
+class CongestedCliqueTrace:
+    """A recorded congested-clique execution: per round, vertex message lists.
+
+    ``rounds[r]`` is a tuple ``(src_vertices, dst_vertices, bits)`` of equal
+    length arrays; vertex ids refer to the input graph.
+    """
+
+    rounds: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    def record_round(
+        self, src_vertices: np.ndarray, dst_vertices: np.ndarray, bits: np.ndarray | int
+    ) -> None:
+        """Append one CC round of messages."""
+        s = np.asarray(src_vertices, dtype=np.int64)
+        d = np.asarray(dst_vertices, dtype=np.int64)
+        b = np.broadcast_to(np.asarray(bits, dtype=np.int64), s.shape).copy()
+        if s.shape != d.shape:
+            raise ValueError("src and dst must have equal shapes")
+        self.rounds.append((s, d, b))
+
+    @property
+    def message_complexity(self) -> int:
+        """Total number of messages across all rounds."""
+        return sum(int(s.size) for s, _, _ in self.rounds)
+
+    @property
+    def round_complexity(self) -> int:
+        """Number of CC rounds."""
+        return len(self.rounds)
+
+    def max_delta_prime(self) -> int:
+        """Max messages sent-or-received by one vertex in one round."""
+        worst = 0
+        for s, d, _ in self.rounds:
+            if s.size == 0:
+                continue
+            sent = np.bincount(s)
+            recv = np.bincount(d)
+            worst = max(worst, int(sent.max(initial=0)), int(recv.max(initial=0)))
+        return worst
+
+
+def replay_trace(
+    cluster: KMachineCluster, trace: CongestedCliqueTrace, label: str = "conversion"
+) -> int:
+    """Replay a CC trace through the cluster's ledger; return total rounds.
+
+    Each CC round becomes one bulk step: vertex->vertex messages map to
+    home(src) -> home(dst) machine traffic (intra-machine messages free).
+    This matches how the Conversion Theorem's simulation schedules a CC
+    round, minus its random-rerouting constant factors — i.e. it can only
+    *under*-estimate the baseline's cost, making baseline comparisons
+    conservative in the baseline's favour.
+    """
+    from repro.cluster.comm import CommStep
+
+    home = cluster.partition.home
+    total = 0
+    for r, (s, d, b) in enumerate(trace.rounds):
+        step = CommStep(cluster.ledger, f"{label}:cc-round-{r}")
+        step.add(home[s], home[d], b)
+        rounds = step.deliver()
+        # A CC round costs at least one k-machine round even if all
+        # messages were machine-local.
+        if rounds == 0:
+            rounds = cluster.ledger.charge_rounds(f"{label}:cc-round-{r}:sync", 1)
+        total += rounds
+    return total

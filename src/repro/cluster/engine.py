@@ -1,0 +1,179 @@
+"""Exact per-round mailbox engine for the k-machine model.
+
+While :mod:`repro.cluster.comm` accounts bulk steps analytically, this
+engine *executes* machine programs round by round with real mailboxes and
+per-link bandwidth enforcement: a directed link delivers at most B bits per
+round; excess traffic queues (FIFO) and large messages fragment across
+rounds.  It exists to
+
+* cross-validate the bulk accounting (tests assert both agree on flooding),
+* provide an mpi4py-flavoured programming surface for the examples, and
+* execute small protocol fragments exactly (e.g. leader election).
+
+Programs implement :class:`MachineProgram`: per round they receive the
+messages fully delivered that round and return new messages to send.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.cluster.topology import ClusterTopology
+
+__all__ = ["Envelope", "MachineProgram", "SyncEngine", "EngineResult"]
+
+
+@dataclass
+class Envelope:
+    """A message in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Machine ids.
+    bits:
+        Size charged against link bandwidth.
+    payload:
+        Arbitrary Python object (opaque to the engine).
+    """
+
+    src: int
+    dst: int
+    bits: int
+    payload: Any
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError("bits must be non-negative")
+
+
+class MachineProgram(Protocol):
+    """The per-machine behaviour executed by :class:`SyncEngine`."""
+
+    def on_round(self, machine: int, round_no: int, inbox: list[Envelope]) -> list[Envelope]:
+        """Process this round's fully-delivered messages; return new sends."""
+        ...  # pragma: no cover - protocol
+
+    def is_done(self, machine: int) -> bool:
+        """True when this machine has terminated locally."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class EngineResult:
+    """Outcome of an engine run."""
+
+    rounds: int
+    delivered_messages: int
+    delivered_bits: int
+    terminated: bool
+
+
+@dataclass
+class _LinkQueue:
+    """FIFO of envelopes on one directed link, with fragmentation state."""
+
+    queue: deque = field(default_factory=deque)
+    head_remaining: int = 0  # bits of the head envelope still to transmit
+
+    def push(self, env: Envelope) -> None:
+        if not self.queue:
+            self.head_remaining = env.bits
+        self.queue.append(env)
+
+    def drain(self, budget: int) -> list[Envelope]:
+        """Deliver whole messages within ``budget`` bits; fragment the head."""
+        out: list[Envelope] = []
+        while self.queue and budget > 0:
+            if self.head_remaining <= budget:
+                budget -= self.head_remaining
+                out.append(self.queue.popleft())
+                self.head_remaining = self.queue[0].bits if self.queue else 0
+            else:
+                self.head_remaining -= budget
+                budget = 0
+        return out
+
+    @property
+    def empty(self) -> bool:
+        return not self.queue
+
+
+class SyncEngine:
+    """Synchronous round executor over a complete k-machine network."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        k = topology.k
+        self._links: dict[tuple[int, int], _LinkQueue] = {}
+        self._k = k
+
+    def _link(self, src: int, dst: int) -> _LinkQueue:
+        q = self._links.get((src, dst))
+        if q is None:
+            q = _LinkQueue()
+            self._links[(src, dst)] = q
+        return q
+
+    def run(
+        self,
+        programs: list[MachineProgram],
+        max_rounds: int = 1_000_000,
+    ) -> EngineResult:
+        """Execute until every machine is done and all queues drained.
+
+        Machine-local sends (src == dst) are delivered next round without
+        consuming bandwidth (local computation is free in the model).
+        """
+        k = self._k
+        if len(programs) != k:
+            raise ValueError(f"need exactly {k} programs, got {len(programs)}")
+        bw = self.topology.bandwidth_bits
+        delivered_msgs = 0
+        delivered_bits = 0
+        local_pending: list[list[Envelope]] = [[] for _ in range(k)]
+        rounds = 0
+        for round_no in range(1, max_rounds + 1):
+            # Deliver: each directed link transmits up to B bits.
+            inboxes: list[list[Envelope]] = [[] for _ in range(k)]
+            for mid in range(k):
+                if local_pending[mid]:
+                    inboxes[mid].extend(local_pending[mid])
+                    local_pending[mid] = []
+            any_traffic = False
+            for (src, dst), q in self._links.items():
+                if q.empty:
+                    continue
+                got = q.drain(bw)
+                if got or not q.empty:
+                    any_traffic = True
+                for env in got:
+                    delivered_msgs += 1
+                    delivered_bits += env.bits
+                    inboxes[dst].append(env)
+            # Compute: every machine takes a step.
+            any_sends = False
+            for mid in range(k):
+                outs = programs[mid].on_round(mid, round_no, inboxes[mid])
+                for env in outs:
+                    if not (0 <= env.dst < k) or env.src != mid:
+                        raise ValueError(
+                            f"machine {mid} emitted invalid envelope {env.src}->{env.dst}"
+                        )
+                    any_sends = True
+                    if env.dst == mid:
+                        local_pending[mid].append(env)
+                    else:
+                        self._link(env.src, env.dst).push(env)
+            rounds = round_no
+            queues_empty = all(q.empty for q in self._links.values())
+            locals_empty = all(not p for p in local_pending)
+            all_done = all(programs[mid].is_done(mid) for mid in range(k))
+            if all_done and queues_empty and locals_empty and not any_sends:
+                return EngineResult(rounds, delivered_msgs, delivered_bits, True)
+            if not any_traffic and not any_sends and queues_empty and locals_empty:
+                # Quiescent but not all done: programs are stuck waiting.
+                return EngineResult(rounds, delivered_msgs, delivered_bits, all_done)
+        return EngineResult(rounds, delivered_msgs, delivered_bits, False)

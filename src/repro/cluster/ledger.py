@@ -1,0 +1,164 @@
+"""Round and bandwidth accounting for the k-machine simulation.
+
+The paper's complexity measure is the number of synchronous rounds, where a
+round lets every link carry B = O(polylog n) bits in each direction.  For a
+bulk communication step that puts ``load[i, j]`` bits on the directed link
+``i -> j``, an optimal schedule needs exactly
+
+    rounds(step) = ceil(max_{i != j} load[i, j] / B)
+
+rounds (links are independent; a link's traffic is serialized over rounds).
+:class:`RoundLedger` records this quantity per step, together with total
+traffic and per-machine send/receive volumes, so experiments can report
+both round counts (Theorems 1-4) and congestion profiles (Lemma 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.util.bits import ceil_div
+
+__all__ = ["RoundLedger", "StepRecord"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Accounting record of one bulk communication step."""
+
+    label: str
+    rounds: int
+    max_link_bits: int
+    total_bits: int
+    messages: int
+
+
+@dataclass
+class RoundLedger:
+    """Accumulates the cost of every communication step of an algorithm run.
+
+    Attributes
+    ----------
+    topology:
+        The cluster the ledger accounts for.
+    steps:
+        Chronological list of :class:`StepRecord`.
+    sent_bits / received_bits:
+        Per-machine cumulative traffic (``int64[k]``) — the congestion
+        profile used by the Lemma-1 and ablation experiments.
+    """
+
+    topology: ClusterTopology
+    steps: list[StepRecord] = field(default_factory=list)
+    sent_bits: np.ndarray = field(default=None)  # type: ignore[assignment]
+    received_bits: np.ndarray = field(default=None)  # type: ignore[assignment]
+    load_total: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        k = self.topology.k
+        if self.sent_bits is None:
+            self.sent_bits = np.zeros(k, dtype=np.int64)
+        if self.received_bits is None:
+            self.received_bits = np.zeros(k, dtype=np.int64)
+        if self.load_total is None:
+            self.load_total = np.zeros((k, k), dtype=np.int64)
+
+    # -- recording ----------------------------------------------------------
+
+    def charge_load_matrix(self, label: str, load: np.ndarray, messages: int = 0) -> int:
+        """Charge a bulk step described by a dense ``int64[k, k]`` bit-load matrix.
+
+        Diagonal entries (machine-local delivery) are free, per the model.
+        Returns the number of rounds charged.
+        """
+        k = self.topology.k
+        if load.shape != (k, k):
+            raise ValueError(f"load matrix must be ({k}, {k}), got {load.shape}")
+        off = load.copy()
+        np.fill_diagonal(off, 0)
+        max_link = int(off.max(initial=0))
+        total = int(off.sum())
+        rounds = ceil_div(max_link, self.topology.bandwidth_bits) if max_link else 0
+        self.sent_bits += off.sum(axis=1)
+        self.received_bits += off.sum(axis=0)
+        self.load_total += off
+        self.steps.append(
+            StepRecord(
+                label=label,
+                rounds=rounds,
+                max_link_bits=max_link,
+                total_bits=total,
+                messages=messages,
+            )
+        )
+        return rounds
+
+    def charge_rounds(self, label: str, rounds: int, total_bits: int = 0) -> int:
+        """Charge a step whose round count is computed externally.
+
+        Used by the congested-clique conversion adapter and by O(1)-round
+        protocol fragments (e.g. leader election) whose constant cost we
+        take from the cited results rather than re-simulating.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self.steps.append(
+            StepRecord(
+                label=label,
+                rounds=rounds,
+                max_link_bits=0,
+                total_bits=total_bits,
+                messages=0,
+            )
+        )
+        return rounds
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_rounds(self) -> int:
+        """Total rounds across all recorded steps."""
+        return sum(s.rounds for s in self.steps)
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits shipped across all links."""
+        return sum(s.total_bits for s in self.steps)
+
+    @property
+    def max_machine_received_bits(self) -> int:
+        """Largest cumulative receive volume of any machine (congestion)."""
+        return int(self.received_bits.max(initial=0))
+
+    def breakdown(self) -> dict[str, int]:
+        """Rounds aggregated by step-label prefix (text before first ':')."""
+        agg: dict[str, int] = {}
+        for s in self.steps:
+            key = s.label.split(":", 1)[0]
+            agg[key] = agg.get(key, 0) + s.rounds
+        return agg
+
+    def cut_bits(self, group_a: np.ndarray) -> int:
+        """Total bits that crossed the cut between ``group_a`` machines and the rest.
+
+        The quantity the Section-4 lower bound argues about: a 2-party
+        simulation of the protocol exchanges exactly the bits crossing the
+        Alice/Bob machine partition.
+        """
+        mask = np.zeros(self.topology.k, dtype=bool)
+        mask[np.asarray(group_a, dtype=np.int64)] = True
+        a_to_b = int(self.load_total[mask][:, ~mask].sum())
+        b_to_a = int(self.load_total[~mask][:, mask].sum())
+        return a_to_b + b_to_a
+
+    def merge_from(self, other: "RoundLedger") -> None:
+        """Append all records of ``other`` (same topology) to this ledger."""
+        if other.topology != self.topology:
+            raise ValueError("cannot merge ledgers with different topologies")
+        self.steps.extend(other.steps)
+        self.sent_bits += other.sent_bits
+        self.received_bits += other.received_bits
+        self.load_total += other.load_total

@@ -1,0 +1,84 @@
+"""Input partitioning: random vertex partition (RVP) and random edge partition (REP).
+
+Section 1.1: in the RVP model each vertex (with its incident edges) is
+assigned independently and uniformly at random to one of the k machines —
+the partition used by Pregel-style systems via vertex hashing.  A key
+consequence the algorithms exploit: *every machine can compute any vertex's
+home machine locally* (the partition is a shared hash function), which is
+how proxies address the home machines of sampled edge endpoints.
+
+Section 1.3 discusses the REP model (edges assigned randomly to machines)
+where the tight bound is Theta~(n/k) instead; :func:`random_edge_partition`
+supports the comparison experiments in :mod:`repro.baselines.rep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import SeedStream, derive_seed
+
+__all__ = ["VertexPartition", "random_edge_partition", "random_vertex_partition"]
+
+
+@dataclass(frozen=True)
+class VertexPartition:
+    """A vertex -> machine assignment, shared-hash computable.
+
+    Attributes
+    ----------
+    k:
+        Number of machines.
+    home:
+        ``int64[n]``; ``home[v]`` is the home machine of vertex ``v``.
+    seed:
+        The hash seed; any machine can recompute ``home[v]`` from
+        ``(seed, v)`` alone (the paper's "if a machine knows a vertex ID,
+        it also knows where it is hashed to").
+    """
+
+    k: int
+    home: np.ndarray
+    seed: int
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return int(self.home.size)
+
+    def machine_vertices(self, machine: int) -> np.ndarray:
+        """Vertices homed at ``machine`` (ascending)."""
+        return np.nonzero(self.home == machine)[0].astype(np.int64)
+
+    def counts(self) -> np.ndarray:
+        """Vertices per machine (``int64[k]``)."""
+        return np.bincount(self.home, minlength=self.k).astype(np.int64)
+
+    def home_of(self, vertices: np.ndarray | int) -> np.ndarray:
+        """Vectorized home lookup (recomputable by any machine)."""
+        return self.home[np.asarray(vertices, dtype=np.int64)]
+
+
+def random_vertex_partition(n: int, k: int, seed: int) -> VertexPartition:
+    """RVP via shared hashing: vertex v -> h(v) in [k].
+
+    Hash-based (rather than a random permutation) exactly as real systems
+    do it, and as the model requires for locally-computable homes.
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    stream = SeedStream(derive_seed(seed, 0x9A27, k))
+    home = stream.keyed_choice(np.arange(n, dtype=np.uint64), k)
+    return VertexPartition(k=k, home=home.astype(np.int64), seed=seed)
+
+
+def random_edge_partition(m: int, k: int, seed: int) -> np.ndarray:
+    """REP: edge index -> machine, independently and uniformly (``int64[m]``)."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    stream = SeedStream(derive_seed(seed, 0xE49, k))
+    return stream.keyed_choice(np.arange(m, dtype=np.uint64), k).astype(np.int64)

@@ -1,0 +1,89 @@
+"""Shared-randomness distribution (Section 2.2 of the paper).
+
+The proxy hash functions h_{j, rho} and the per-phase sketch matrices need
+randomness *shared by all machines*.  The paper has machine M1 generate
+Theta~(n/k) private random bits per phase and disseminate them with a
+two-round relay scheme, costing O~(n/k^2) rounds; all machines then expand
+those bits into the required d-wise independent functions locally ([4, 5]).
+
+The simulator mirrors this faithfully on the accounting side — every phase
+charges the dissemination cost — while representing the randomness itself
+by a seed (see DESIGN.md substitution table: evaluating a true
+degree-Theta~(n/k) polynomial per hash lookup is prohibitively slow in pure
+Python, and only the *cost* of distribution enters the theorems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.comm import disseminate_from_machine
+from repro.cluster.ledger import RoundLedger
+from repro.util.bits import ceil_div, ceil_log2
+from repro.util.rng import SeedStream, derive_seed
+
+__all__ = ["SharedRandomness"]
+
+
+@dataclass
+class SharedRandomness:
+    """Per-run shared randomness with per-phase derived seeds.
+
+    Parameters
+    ----------
+    master_seed:
+        M1's master seed for the run.
+    n, k:
+        Problem and cluster size (determine the number of shared bits the
+        paper's construction would disseminate each phase).
+    """
+
+    master_seed: int
+    n: int
+    k: int
+
+    def phase_bits(self) -> int:
+        """Shared random bits required per phase: d * log n with d = Theta~(n/k).
+
+        Theorem 2.1 of [5] generates a d-wise independent hash from
+        O(d log n) true random bits; the proxy analysis (Lemma 1) uses
+        d = Theta~(n/k).
+        """
+        d = ceil_div(self.n, self.k)
+        return max(1, d * ceil_log2(max(self.n, 2)))
+
+    def charge_phase_distribution(self, ledger: RoundLedger, phase: int) -> int:
+        """Charge the per-phase dissemination of shared bits from M1.
+
+        Returns rounds consumed: O~(n/k^2) by the relay scheme.
+        """
+        return disseminate_from_machine(
+            ledger, f"shared-random:phase-{phase}", 0, self.phase_bits()
+        )
+
+    def charge_sketch_seed_distribution(self, ledger: RoundLedger, phase: int) -> int:
+        """Charge distribution of the Theta(log^2 n) sketch seed bits.
+
+        Section 2.3 ("Constructing Linear Sketches Without Shared
+        Randomness"): Theta(log^2 n) true random bits suffice for the
+        Theta(log n)-wise independent sketch randomness; they are
+        distributed in O(1) rounds.
+        """
+        bits = ceil_log2(max(self.n, 2)) ** 2
+        return disseminate_from_machine(
+            ledger, f"shared-random:sketch-seed-{phase}", 0, bits
+        )
+
+    # -- seed derivation (the local expansion step) --------------------------
+
+    def proxy_stream(self, phase: int, iteration: int) -> SeedStream:
+        """The stream every machine derives for h_{j, rho} = h_{phase, iteration}."""
+        return SeedStream(derive_seed(self.master_seed, 0x9048, phase, iteration))
+
+    def sketch_seed(self, phase: int) -> int:
+        """Seed of the phase-``phase`` sketch matrix L_j."""
+        return derive_seed(self.master_seed, 0x5CE7, phase)
+
+    def rank_stream(self, phase: int) -> SeedStream:
+        """The stream for DRR component ranks in ``phase``."""
+        return SeedStream(derive_seed(self.master_seed, 0xD66, phase))

@@ -1,0 +1,51 @@
+"""The paper's algorithms: connectivity, MST, min-cut, verification.
+
+* :mod:`repro.core.connectivity` — Theorem 1: O~(n/k^2)-round connected
+  components via sketches + proxies + DRR.
+* :mod:`repro.core.mst` — Theorem 2: MST with the edge-elimination MWOE
+  loop; relaxed and strict output criteria.
+* :mod:`repro.core.mincut` — Theorem 3: O(log n)-approximate min-cut.
+* :mod:`repro.core.verify` — Theorem 4: eight verification problems.
+* :mod:`repro.core.labels` / :mod:`repro.core.proxy` /
+  :mod:`repro.core.outgoing` / :mod:`repro.core.drr` — the building blocks
+  (component parts, proxy routing, sketch sampling, DRR merging).
+"""
+
+from repro.core import verify
+from repro.core.connectivity import (
+    ConnectivityResult,
+    PhaseStats,
+    component_sizes_distributed,
+    connected_components_distributed,
+    count_components_distributed,
+)
+from repro.core.drr import DRRForest, build_drr_forest, merge_forest
+from repro.core.labels import PartIndex, canonical_labels, initial_labels
+from repro.core.mincut import MinCutResult, mincut_approx_distributed
+from repro.core.mst import MSTResult, minimum_spanning_tree_distributed
+from repro.core.outgoing import OutgoingSelection, select_outgoing_edges
+from repro.core.proxy import parts_to_proxies, proxies_to_parts, proxy_of_labels
+
+__all__ = [
+    "ConnectivityResult",
+    "DRRForest",
+    "MSTResult",
+    "MinCutResult",
+    "OutgoingSelection",
+    "PartIndex",
+    "PhaseStats",
+    "build_drr_forest",
+    "canonical_labels",
+    "component_sizes_distributed",
+    "connected_components_distributed",
+    "count_components_distributed",
+    "initial_labels",
+    "merge_forest",
+    "mincut_approx_distributed",
+    "minimum_spanning_tree_distributed",
+    "parts_to_proxies",
+    "proxies_to_parts",
+    "proxy_of_labels",
+    "select_outgoing_edges",
+    "verify",
+]

@@ -1,0 +1,309 @@
+"""The O~(n/k^2)-round connectivity algorithm (Theorem 1).
+
+Boruvka-style phase structure (Section 2.1):
+
+    repeat O(log n) times:
+      1. distribute per-phase shared randomness from M1        (Sec. 2.2)
+      2. every component samples one outgoing edge via linear
+         sketches combined at random proxy machines            (Sec. 2.3-2.4)
+      3. build the DRR forest over components and merge each
+         tree level-wise, relabeling vertices                  (Sec. 2.5)
+    until no component has an outgoing edge.
+
+The run terminates after at most ``12 log2 n`` phases w.h.p. (Lemma 7);
+each phase costs O~(n/k^2) rounds (Lemmas 1-6), all of which is *measured*
+by the cluster's :class:`~repro.cluster.ledger.RoundLedger` rather than
+asserted.
+
+The sampled outgoing edges of non-root components form a spanning forest
+of G; they are retained with their owning proxy machine, satisfying the
+relaxed output criterion of Theorem 2(a) ("each edge is output by at least
+one machine").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.comm import CommStep
+from repro.cluster.shared_random import SharedRandomness
+from repro.core.drr import build_drr_forest, charge_forest_build, merge_forest
+from repro.core.labels import PartIndex, canonical_labels, initial_labels
+from repro.core.outgoing import select_outgoing_edges
+from repro.core.proxy import proxy_of_labels
+from repro.util.bits import bits_for_id
+
+__all__ = [
+    "ConnectivityResult",
+    "PhaseStats",
+    "component_sizes_distributed",
+    "connected_components_distributed",
+    "count_components_distributed",
+]
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Diagnostics of one Boruvka phase (feeds the Lemma-6/7 experiments)."""
+
+    phase: int
+    components_start: int
+    components_end: int
+    edges_sampled: int
+    drr_max_depth: int
+    merge_iterations: int
+    rounds: int
+
+
+@dataclass
+class ConnectivityResult:
+    """Output of a distributed connectivity run.
+
+    Attributes
+    ----------
+    labels:
+        ``int64[n]``; final component label per vertex (two vertices share
+        a label iff they are connected, w.h.p.).
+    n_components:
+        Number of distinct labels.
+    rounds:
+        Total simulated k-machine rounds.
+    phases:
+        Boruvka phases executed.
+    converged:
+        True if the algorithm reached the no-outgoing-edge fixpoint within
+        the phase budget.
+    forest_u / forest_v:
+        Endpoints of the spanning-forest edges collected from merges.
+    forest_machine:
+        ``int64[F]``; the machine (component proxy) that output each
+        forest edge — the relaxed output criterion.
+    phase_stats:
+        Per-phase diagnostics.
+    """
+
+    labels: np.ndarray
+    n_components: int
+    rounds: int
+    phases: int
+    converged: bool
+    forest_u: np.ndarray
+    forest_v: np.ndarray
+    forest_machine: np.ndarray
+    phase_stats: list[PhaseStats] = field(default_factory=list)
+
+    def canonical(self) -> np.ndarray:
+        """Labels normalized to min-vertex-id per component (for comparisons)."""
+        return canonical_labels(self.labels)
+
+    def spanning_forest(self):
+        """The collected merge edges as a :class:`~repro.graphs.graph.Graph`.
+
+        The forest spans every component (same component structure as the
+        input graph) and is cycle-free — the Theorem 2(a) output object.
+        """
+        from repro.graphs.graph import Graph
+
+        return Graph.from_edges(self.labels.size, self.forest_u, self.forest_v)
+
+
+def _charge_termination_check(cluster: KMachineCluster, phase: int) -> int:
+    """All machines report a local 1-bit 'any component sampled an edge?'
+    flag to M1, which broadcasts the verdict — O(1) rounds.
+
+    Proxy machines hold the per-component outcomes, so the OR-aggregation
+    is local before the k-1 single-bit messages are sent.
+    """
+    k = cluster.k
+    up = CommStep(cluster.ledger, f"termination:phase-{phase}")
+    others = np.setdiff1d(np.arange(k, dtype=np.int64), np.array([0]))
+    up.add(others, 0, 1)
+    rounds = up.deliver()
+    down = CommStep(cluster.ledger, f"termination-bcast:phase-{phase}")
+    down.add(0, others, 1)
+    return rounds + down.deliver()
+
+
+def connected_components_distributed(
+    cluster: KMachineCluster,
+    seed: int = 0,
+    *,
+    repetitions: int = 6,
+    hash_family: str = "prf",
+    max_phases: int | None = None,
+    charge_shared_randomness: bool = True,
+) -> ConnectivityResult:
+    """Run the Theorem-1 algorithm on ``cluster``; charges its ledger.
+
+    Parameters
+    ----------
+    cluster:
+        The distributed input (graph + partition + topology + ledger).
+    seed:
+        Master seed of M1's shared randomness.
+    repetitions / hash_family:
+        Sketch parameters; ``'polynomial'`` gives the provable
+        Theta(log n)-wise independent construction, ``'prf'`` the fast
+        path (ablation-verified, see DESIGN.md).
+    max_phases:
+        Phase budget; defaults to the Lemma-7 bound ``ceil(12 log2 n)``.
+    charge_shared_randomness:
+        Charge the per-phase Section-2.2 dissemination (disable only in
+        ablations isolating other cost terms).
+    """
+    n, k = cluster.n, cluster.k
+    shared = SharedRandomness(master_seed=seed, n=n, k=k)
+    labels = initial_labels(n)
+    budget = max_phases if max_phases is not None else max(1, math.ceil(12 * math.log2(max(n, 2))))
+    stats: list[PhaseStats] = []
+    forest_u: list[np.ndarray] = []
+    forest_v: list[np.ndarray] = []
+    forest_m: list[np.ndarray] = []
+    converged = False
+    phases = 0
+    for phase in range(1, budget + 1):
+        phases = phase
+        rounds_before = cluster.ledger.total_rounds
+        if charge_shared_randomness:
+            shared.charge_phase_distribution(cluster.ledger, phase)
+        parts = PartIndex.build(labels, cluster.partition)
+        selection = select_outgoing_edges(
+            cluster,
+            shared,
+            labels,
+            phase,
+            parts=parts,
+            repetitions=repetitions,
+            hash_family=hash_family,
+        )
+        _charge_termination_check(cluster, phase)
+        if not selection.sketch_nonzero.any():
+            # Every component's sketch is the zero vector: no outgoing
+            # edges remain (w.h.p.), so the labels are final.  Note this is
+            # deliberately *not* ``found.any()``: recovery can fail on a
+            # nonzero sketch (the l0-sampler's constant failure probability
+            # per repetition), in which case the phase simply retries with
+            # fresh randomness rather than terminating early.
+            converged = True
+            stats.append(
+                PhaseStats(
+                    phase=phase,
+                    components_start=parts.n_components,
+                    components_end=parts.n_components,
+                    edges_sampled=0,
+                    drr_max_depth=0,
+                    merge_iterations=0,
+                    rounds=cluster.ledger.total_rounds - rounds_before,
+                )
+            )
+            break
+        if not selection.found.any():
+            # Outgoing edges exist but every sample failed this phase;
+            # record the (wasted) phase and retry.
+            stats.append(
+                PhaseStats(
+                    phase=phase,
+                    components_start=parts.n_components,
+                    components_end=parts.n_components,
+                    edges_sampled=0,
+                    drr_max_depth=0,
+                    merge_iterations=0,
+                    rounds=cluster.ledger.total_rounds - rounds_before,
+                )
+            )
+            continue
+        forest = build_drr_forest(parts, selection, shared.rank_stream(phase))
+        charge_forest_build(cluster, selection, forest, phase)
+        # Record the merge edges (non-root components' sampled edges): the
+        # proxies already hold them, giving the relaxed output criterion.
+        kids = np.nonzero(forest.parent >= 0)[0]
+        if kids.size:
+            forest_u.append(selection.internal_vertex[kids])
+            forest_v.append(selection.foreign_vertex[kids])
+            forest_m.append(selection.comp_proxy[kids])
+        merge = merge_forest(cluster, shared, labels, forest, phase)
+        labels = merge.labels
+        stats.append(
+            PhaseStats(
+                phase=phase,
+                components_start=parts.n_components,
+                components_end=int(np.unique(labels).size),
+                edges_sampled=int(selection.found.sum()),
+                drr_max_depth=forest.max_depth,
+                merge_iterations=merge.iterations,
+                rounds=cluster.ledger.total_rounds - rounds_before,
+            )
+        )
+    fu = np.concatenate(forest_u) if forest_u else np.empty(0, dtype=np.int64)
+    fv = np.concatenate(forest_v) if forest_v else np.empty(0, dtype=np.int64)
+    fm = np.concatenate(forest_m) if forest_m else np.empty(0, dtype=np.int64)
+    return ConnectivityResult(
+        labels=labels,
+        n_components=int(np.unique(labels).size),
+        rounds=cluster.ledger.total_rounds,
+        phases=phases,
+        converged=converged,
+        forest_u=fu,
+        forest_v=fv,
+        forest_machine=fm,
+        phase_stats=stats,
+    )
+
+
+def component_sizes_distributed(
+    cluster: KMachineCluster, seed: int = 0, **kwargs: object
+) -> tuple[dict[int, int], ConnectivityResult]:
+    """Component sizes via the proxy-aggregation pattern of Section 2.6.
+
+    After connectivity stabilizes, each machine sends, per component part
+    it hosts, the part's vertex count to the component's proxy
+    (O~(n/k^2) rounds by Lemma 1); proxies sum the counts and forward one
+    (label, size) pair each to M1.  Returns ``{label: size}`` plus the
+    underlying connectivity result.
+    """
+    result = connected_components_distributed(cluster, seed, **kwargs)  # type: ignore[arg-type]
+    shared = SharedRandomness(master_seed=seed, n=cluster.n, k=cluster.k)
+    parts = PartIndex.build(result.labels, cluster.partition)
+    stream = shared.proxy_stream(0, 1)
+    comp_proxy = proxy_of_labels(stream, parts.comp_labels, cluster.k)
+    count_bits = bits_for_id(max(cluster.n, 2))
+    up = CommStep(cluster.ledger, "sizes:part-to-proxy")
+    up.add(parts.part_machine, comp_proxy[parts.comp_of_part], 2 * count_bits)
+    up.deliver()
+    fwd = CommStep(cluster.ledger, "sizes:proxy-to-m1")
+    fwd.add(comp_proxy, 0, 2 * count_bits)
+    fwd.deliver()
+    sizes = np.bincount(parts.comp_of_vertex, minlength=parts.n_components)
+    result.rounds = cluster.ledger.total_rounds
+    return {
+        int(lab): int(sz) for lab, sz in zip(parts.comp_labels, sizes)
+    }, result
+
+
+def count_components_distributed(
+    cluster: KMachineCluster, seed: int = 0, **kwargs: object
+) -> tuple[int, ConnectivityResult]:
+    """The Section-2.6 component-counting protocol on top of connectivity.
+
+    After the labels stabilize, every machine sends "YES" to the proxy of
+    each label it hosts; proxies forward the distinct labels they heard to
+    machine M1, which outputs the count.  Both steps are charged.
+    """
+    result = connected_components_distributed(cluster, seed, **kwargs)  # type: ignore[arg-type]
+    shared = SharedRandomness(master_seed=seed, n=cluster.n, k=cluster.k)
+    parts = PartIndex.build(result.labels, cluster.partition)
+    stream = shared.proxy_stream(0, 0)
+    comp_proxy = proxy_of_labels(stream, parts.comp_labels, cluster.k)
+    label_bits = bits_for_id(max(cluster.n, 2))
+    yes = CommStep(cluster.ledger, "count:yes-to-proxy")
+    yes.add(parts.part_machine, comp_proxy[parts.comp_of_part], label_bits)
+    yes.deliver()
+    fwd = CommStep(cluster.ledger, "count:proxy-to-m1")
+    fwd.add(comp_proxy, 0, label_bits)
+    fwd.deliver()
+    result.rounds = cluster.ledger.total_rounds
+    return result.n_components, result

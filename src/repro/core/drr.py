@@ -1,0 +1,209 @@
+"""Distributed Random Ranking: forest construction and level-wise merging.
+
+Section 2.5: after every component has sampled one outgoing edge, merging
+naively along all edges could chain Theta(n) components in a path.  DRR [8]
+instead has every component draw a random rank; a component attaches to its
+sampled neighbor iff the neighbor's rank is *higher*, so parent pointers
+strictly increase in rank — the result is a forest whose trees have depth
+O(log n) w.h.p. (Lemma 6, Figure 2).
+
+Merging proceeds level-wise from the leaves (Lemma 5): in each iteration
+every current leaf relabels all of its vertices to its parent's label,
+using a fresh proxy hash h_{j, rho} per iteration so the Lemma-1 balance
+argument applies independently each time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.comm import CommStep
+from repro.cluster.shared_random import SharedRandomness
+from repro.core.labels import PartIndex
+from repro.core.outgoing import OutgoingSelection
+from repro.core.proxy import proxy_of_labels
+from repro.util.bits import bits_for_id
+from repro.util.rng import SeedStream
+
+__all__ = ["DRRForest", "MergeOutcome", "build_drr_forest", "charge_forest_build", "merge_forest"]
+
+
+@dataclass(frozen=True)
+class DRRForest:
+    """The DRR forest over the current components (arrays indexed by component).
+
+    Attributes
+    ----------
+    comp_labels:
+        ``int64[C]``; the components' labels (sorted, as in PartIndex).
+    ranks:
+        ``uint64[C]``; the random ranks (shared PRF of the label).
+    parent:
+        ``int64[C]``; component index of the parent, -1 for roots.
+    parent_label:
+        ``int64[C]``; the parent's label (-1 for roots).
+    depth:
+        ``int64[C]``; distance to the root of each tree.
+    """
+
+    comp_labels: np.ndarray
+    ranks: np.ndarray
+    parent: np.ndarray
+    parent_label: np.ndarray
+    depth: np.ndarray
+
+    @property
+    def n_components(self) -> int:
+        """Number of components (forest nodes)."""
+        return int(self.comp_labels.size)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest node — the Lemma-6 quantity, O(log n) w.h.p."""
+        return int(self.depth.max(initial=0))
+
+    @property
+    def n_children(self) -> np.ndarray:
+        """Number of children per component."""
+        valid = self.parent[self.parent >= 0]
+        return np.bincount(valid, minlength=self.n_components).astype(np.int64)
+
+
+def build_drr_forest(
+    parts: PartIndex, selection: OutgoingSelection, rank_stream: SeedStream
+) -> DRRForest:
+    """Construct the forest from the sampled outgoing edges.
+
+    Component C becomes a child of the component C' on the other side of
+    its sampled edge iff rank(C') > rank(C) (ties broken by label, a
+    negligible-probability event with 64-bit ranks).  Components without a
+    sampled edge are isolated roots.
+
+    Ranks are a shared PRF of the component label, so both sides of every
+    comparison are computable at C's proxy without extra communication.
+    """
+    c = parts.n_components
+    labels = parts.comp_labels
+    ranks = rank_stream.keyed_u64(labels.astype(np.uint64))
+    parent = np.full(c, -1, dtype=np.int64)
+    parent_label = np.full(c, -1, dtype=np.int64)
+    sel = np.nonzero(selection.found)[0]
+    if sel.size:
+        nbr_label = selection.neighbor_label[sel]
+        nbr_rank = rank_stream.keyed_u64(nbr_label.astype(np.uint64))
+        own_rank = ranks[sel]
+        attach = (nbr_rank > own_rank) | ((nbr_rank == own_rank) & (nbr_label > labels[sel]))
+        kids = sel[attach]
+        if kids.size:
+            parent_label[kids] = selection.neighbor_label[kids]
+            parent[kids] = parts.comp_index_of_labels(parent_label[kids])
+    # Depths: parents have strictly higher (rank, label), so processing
+    # components in decreasing rank order sees every parent first.
+    depth = np.zeros(c, dtype=np.int64)
+    order = np.lexsort((labels, ranks))[::-1]
+    for ci in order:
+        p = parent[ci]
+        if p >= 0:
+            depth[ci] = depth[p] + 1
+    return DRRForest(
+        comp_labels=labels, ranks=ranks, parent=parent, parent_label=parent_label, depth=depth
+    )
+
+
+def charge_forest_build(
+    cluster: KMachineCluster, selection: OutgoingSelection, forest: DRRForest, phase: int
+) -> int:
+    """Charge the Lemma-4 traffic: child proxies contact parent proxies.
+
+    Each non-root component's proxy sends one O(log n)-bit message to its
+    parent's proxy (announcing itself as a child) and receives a reply —
+    O(n) messages total over the component graph, delivered in O~(n/k^2)
+    rounds via the proxy balance argument.
+    """
+    kids = np.nonzero(forest.parent >= 0)[0]
+    if kids.size == 0:
+        return 0
+    child_proxy = selection.comp_proxy[kids]
+    parent_proxy = selection.comp_proxy[forest.parent[kids]]
+    bits = 2 * bits_for_id(max(cluster.n, 2)) + 64  # child label + parent label + rank
+    fwd = CommStep(cluster.ledger, f"drr-build:phase-{phase}")
+    fwd.add(child_proxy, parent_proxy, bits)
+    rounds = fwd.deliver()
+    back = CommStep(cluster.ledger, f"drr-build-reply:phase-{phase}")
+    back.add(parent_proxy, child_proxy, bits)
+    rounds += back.deliver()
+    return rounds
+
+
+@dataclass(frozen=True)
+class MergeOutcome:
+    """Result of merging one phase's DRR forest."""
+
+    labels: np.ndarray
+    iterations: int
+    rounds: int
+
+
+def merge_forest(
+    cluster: KMachineCluster,
+    shared: SharedRandomness,
+    labels: np.ndarray,
+    forest: DRRForest,
+    phase: int,
+    first_iteration: int = 1,
+) -> MergeOutcome:
+    """Level-wise merging (Lemma 5): leaves relabel into parents, bottom-up.
+
+    Every iteration rho: (i) a fresh proxy hash h_{phase, rho} is derived
+    (its dissemination is part of the per-phase shared-randomness charge);
+    (ii) each current leaf's proxy broadcasts the parent label to the
+    machines hosting the leaf's parts; (iii) those machines relabel their
+    local vertices.  The loop runs ``max_depth`` times — O(log n) w.h.p.
+    by Lemma 6.
+    """
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    n, k = cluster.n, cluster.k
+    c = forest.n_components
+    children = forest.n_children.copy()
+    merged = np.zeros(c, dtype=bool)
+    label_bits = bits_for_id(max(n, 2))
+    iteration = first_iteration
+    total_rounds = 0
+    while True:
+        leaves = np.nonzero((~merged) & (forest.parent >= 0) & (children == 0))[0]
+        if leaves.size == 0:
+            break
+        stream = shared.proxy_stream(phase, iteration)
+        cur_parts = PartIndex.build(labels, cluster.partition)
+        comp_proxy = proxy_of_labels(stream, cur_parts.comp_labels, k)
+        # Leaf components still carry their own label (absorbed children
+        # were relabeled *to* them), so each leaf maps to a current
+        # component; broadcast the parent label to all its parts.
+        leaf_comp_idx = cur_parts.comp_index_of_labels(forest.comp_labels[leaves])
+        part_is_leaf = np.isin(cur_parts.comp_of_part, leaf_comp_idx)
+        part_sel = np.nonzero(part_is_leaf)[0]
+        step = CommStep(cluster.ledger, f"merge-relabel:phase-{phase}-it-{iteration}")
+        step.add(
+            comp_proxy[cur_parts.comp_of_part[part_sel]],
+            cur_parts.part_machine[part_sel],
+            label_bits,
+        )
+        total_rounds += step.deliver()
+        # Relabel: vertices whose label is a merging leaf's label take the
+        # leaf's parent label (vectorized translation table).
+        old = forest.comp_labels[leaves]
+        new = forest.parent_label[leaves]
+        order = np.argsort(old)
+        old_sorted, new_sorted = old[order], new[order]
+        pos = np.searchsorted(old_sorted, labels)
+        pos_c = np.clip(pos, 0, old_sorted.size - 1)
+        hit = old_sorted[pos_c] == labels
+        labels[hit] = new_sorted[pos_c[hit]]
+        # Forest bookkeeping.
+        merged[leaves] = True
+        np.subtract.at(children, forest.parent[leaves], 1)
+        iteration += 1
+    return MergeOutcome(labels=labels, iterations=iteration - first_iteration, rounds=total_rounds)

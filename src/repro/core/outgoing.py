@@ -1,0 +1,208 @@
+"""Outgoing-edge selection via combined linear sketches (Section 2.4).
+
+One invocation implements the paper's per-phase selection step:
+
+1. every machine builds the summed sketch of each component part it hosts
+   (local computation over its own incidences — free);
+2. parts ship their sketches to the component's random proxy machine
+   (Lemma 1 traffic, charged through the load-matrix accounting);
+3. each proxy sums its parts' sketches into the component sketch and
+   samples one outgoing edge (Lemma 2);
+4. the proxy resolves the *foreign* endpoint's current component label by
+   querying that vertex's home machine (computable locally from the shared
+   partition hash), one query/reply per component.
+
+For the MST algorithm the same routine runs with a per-component weight
+bound: incidences whose edge weight meets/exceeds the bound are zeroed out
+before sketching (Section 3.1's edge-elimination), and the reply to the
+label query additionally carries the sampled edge's weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.comm import CommStep
+from repro.cluster.shared_random import SharedRandomness
+from repro.core.labels import PartIndex
+from repro.core.proxy import parts_to_proxies, proxy_of_labels
+from repro.sketch.edgespace import decode_slot
+from repro.sketch.l0 import SketchContext, SketchSpec
+from repro.util.bits import bits_for_id
+
+__all__ = ["OutgoingSelection", "select_outgoing_edges"]
+
+
+@dataclass(frozen=True)
+class OutgoingSelection:
+    """Per-component outcome of one selection step (arrays indexed by component).
+
+    Attributes
+    ----------
+    parts:
+        The :class:`PartIndex` the step ran on.
+    comp_proxy:
+        ``int64[C]``; the proxy machine of each component this iteration.
+    sketch_nonzero:
+        ``bool[C]``; True where the (possibly weight-restricted) component
+        sketch is nonzero — i.e. an outgoing edge exists w.h.p.
+    found:
+        ``bool[C]``; True where one-sparse recovery produced a verified edge.
+    slot:
+        ``int64[C]``; sampled canonical edge slot (-1 where not found).
+    internal_vertex / foreign_vertex:
+        ``int64[C]``; the sampled edge's endpoint inside / outside the
+        component (-1 where not found).
+    neighbor_label:
+        ``int64[C]``; current label of the foreign endpoint's component.
+    edge_weight:
+        ``float64[C]``; sampled edge weight (NaN unless requested & found).
+    """
+
+    parts: PartIndex
+    comp_proxy: np.ndarray
+    sketch_nonzero: np.ndarray
+    found: np.ndarray
+    slot: np.ndarray
+    internal_vertex: np.ndarray
+    foreign_vertex: np.ndarray
+    neighbor_label: np.ndarray
+    edge_weight: np.ndarray
+
+
+def select_outgoing_edges(
+    cluster: KMachineCluster,
+    shared: SharedRandomness,
+    labels: np.ndarray,
+    phase: int,
+    *,
+    iteration: int = 0,
+    sketch_seed: int | None = None,
+    parts: PartIndex | None = None,
+    repetitions: int = 6,
+    hash_family: str = "prf",
+    weight_bound_per_comp: np.ndarray | None = None,
+    want_weights: bool = False,
+) -> OutgoingSelection:
+    """Run one sketch-sample-resolve step; charges the cluster ledger.
+
+    Parameters
+    ----------
+    cluster, shared, labels, phase:
+        Run state.  ``labels`` is the current component label per vertex.
+    iteration:
+        Sub-iteration rho (fresh proxy hash per Lemma 5's requirement).
+    sketch_seed:
+        Seed of the sketch matrix; defaults to the phase matrix
+        ``shared.sketch_seed(phase)``.  MST elimination passes a fresh
+        seed per elimination round.
+    parts:
+        Pre-built :class:`PartIndex` (labels unchanged since built);
+        recomputed if omitted.
+    repetitions / hash_family:
+        Sketch parameters (see :class:`~repro.sketch.l0.SketchSpec`).
+    weight_bound_per_comp:
+        ``float64[C]`` aligned with ``parts.comp_labels``: incidences with
+        ``weight >= bound`` are excluded from the sketch (MST elimination).
+        ``+inf`` (or None) keeps everything.
+    want_weights:
+        If True, label-query replies carry the edge weight (64 extra bits).
+    """
+    n, k = cluster.n, cluster.k
+    if parts is None:
+        parts = PartIndex.build(labels, cluster.partition)
+    seed = shared.sketch_seed(phase) if sketch_seed is None else sketch_seed
+    spec = SketchSpec.for_graph(n, seed, repetitions=repetitions, hash_family=hash_family)
+    shared.charge_sketch_seed_distribution(cluster.ledger, phase)
+
+    # 1. Local sketch construction per part (free local computation).
+    ctx = SketchContext(spec, cluster.inc_slot, cluster.inc_sign)
+    inc_part = parts.part_of_vertex[cluster.inc_owner]
+    mask = None
+    if weight_bound_per_comp is not None:
+        bound = np.asarray(weight_bound_per_comp, dtype=np.float64)
+        if bound.shape != (parts.n_components,):
+            raise ValueError("weight_bound_per_comp must align with components")
+        inc_comp = parts.comp_of_part[inc_part]
+        mask = cluster.inc_weight < bound[inc_comp]
+    part_bundle = ctx.group_sums(inc_part, parts.n_parts, mask=mask)
+
+    # 2. Ship part sketches to component proxies (Lemma 1 pattern).
+    stream = shared.proxy_stream(phase, iteration)
+    comp_proxy = proxy_of_labels(stream, parts.comp_labels, k)
+    part_proxy = comp_proxy[parts.comp_of_part]
+    parts_to_proxies(
+        cluster,
+        f"sketch-to-proxy:phase-{phase}-it-{iteration}",
+        parts.part_machine,
+        part_proxy,
+        spec.message_bits,
+    )
+
+    # 3. Proxy-side combination and sampling (Lemma 2).
+    comp_bundle = part_bundle.aggregate(parts.comp_of_part, parts.n_components)
+    nonzero = comp_bundle.nonzero_mask()
+    sample = comp_bundle.sample()
+    found = sample.found
+
+    c = parts.n_components
+    internal = np.full(c, -1, dtype=np.int64)
+    foreign = np.full(c, -1, dtype=np.int64)
+    neighbor_label = np.full(c, -1, dtype=np.int64)
+    weight = np.full(c, np.nan, dtype=np.float64)
+    if found.any():
+        idx = np.nonzero(found)[0]
+        lo, hi = decode_slot(n, sample.slots[idx])
+        sign = sample.signs[idx]
+        internal[idx] = np.where(sign > 0, lo, hi)
+        foreign[idx] = np.where(sign > 0, hi, lo)
+
+        # 4. Resolve the foreign endpoint's label (and weight, for MST):
+        # proxy -> home(foreign) query, then the reply re-runs the schedule.
+        foreign_home = cluster.partition.home[foreign[idx]]
+        query_bits = bits_for_id(n * n) + bits_for_id(n)
+        reply_bits = bits_for_id(n) + (64 if want_weights else 0)
+        q = CommStep(cluster.ledger, f"label-query:phase-{phase}-it-{iteration}")
+        q.add(comp_proxy[idx], foreign_home, query_bits)
+        q.deliver()
+        r = CommStep(cluster.ledger, f"label-reply:phase-{phase}-it-{iteration}")
+        r.add(foreign_home, comp_proxy[idx], reply_bits)
+        r.deliver()
+        neighbor_label[idx] = labels[foreign[idx]]
+        if want_weights:
+            eu, ev = np.minimum(internal[idx], foreign[idx]), np.maximum(
+                internal[idx], foreign[idx]
+            )
+            weight[idx] = _edge_weights(cluster, eu, ev)
+
+    return OutgoingSelection(
+        parts=parts,
+        comp_proxy=comp_proxy,
+        sketch_nonzero=nonzero,
+        found=found,
+        slot=sample.slots,
+        internal_vertex=internal,
+        foreign_vertex=foreign,
+        neighbor_label=neighbor_label,
+        edge_weight=weight,
+    )
+
+
+def _edge_weights(cluster: KMachineCluster, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """Weights of edges given by canonical endpoint arrays (vectorized lookup).
+
+    The home machine of either endpoint knows the weight locally; this is
+    the content of the label-query reply, so no extra communication is
+    charged here.
+    """
+    g = cluster.graph
+    key = g.edges_u * np.int64(g.n) + g.edges_v
+    q = us * np.int64(g.n) + vs
+    pos = np.searchsorted(key, q)
+    pos = np.clip(pos, 0, key.size - 1)
+    if not np.all(key[pos] == q):
+        raise KeyError("sampled slot does not correspond to a graph edge")
+    return g.weights[pos]

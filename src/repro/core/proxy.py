@@ -1,0 +1,66 @@
+"""Randomized proxy computation (Section 2.2, Lemma 1).
+
+Every component C is assigned, per (phase, iteration), a uniformly random
+*proxy machine* ``h_{j, rho}(C)``; all communication on behalf of C flows
+through its proxy.  Because the hash is shared randomness, every machine
+evaluates it locally — assigning proxies costs no communication beyond the
+per-phase dissemination charged by
+:class:`repro.cluster.shared_random.SharedRandomness`.
+
+The two traffic patterns of Lemma 1:
+
+* *parts -> proxies* (:func:`parts_to_proxies`): each machine sends one
+  message per component part it hosts to that component's proxy.
+* *proxies -> parts* (:func:`proxies_to_parts`): the reverse schedule
+  (the paper notes the reply simply re-runs the schedule backwards).
+
+Both are charged through the exact load-matrix accounting, so the
+Lemma-1 concentration (O~(n/k^2) rounds w.h.p.) is *measured*, not
+assumed — ``bench_proxy_load`` plots it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.comm import CommStep
+from repro.util.rng import SeedStream
+
+__all__ = ["proxy_of_labels", "parts_to_proxies", "proxies_to_parts"]
+
+
+def proxy_of_labels(stream: SeedStream, labels: np.ndarray, k: int) -> np.ndarray:
+    """Proxy machine per label value: the shared hash h_{j, rho}.
+
+    Distinct labels get independent uniform machines (PRF over the label),
+    and identical labels always agree — the property the Lemma-1
+    balls-into-bins argument needs.
+    """
+    return stream.keyed_choice(np.asarray(labels, dtype=np.uint64), k)
+
+
+def parts_to_proxies(
+    cluster: KMachineCluster,
+    label: str,
+    part_machine: np.ndarray,
+    part_proxy: np.ndarray,
+    bits_per_message: int,
+) -> int:
+    """Charge one part->proxy message per part; return rounds consumed."""
+    step = CommStep(cluster.ledger, label)
+    step.add(part_machine, part_proxy, bits_per_message)
+    return step.deliver()
+
+
+def proxies_to_parts(
+    cluster: KMachineCluster,
+    label: str,
+    part_machine: np.ndarray,
+    part_proxy: np.ndarray,
+    bits_per_message: int,
+) -> int:
+    """Charge the reverse schedule (proxy -> each part); return rounds."""
+    step = CommStep(cluster.ledger, label)
+    step.add(part_proxy, part_machine, bits_per_message)
+    return step.deliver()

@@ -1,0 +1,23 @@
+"""Graph substrate: CSR graphs, generators, and sequential references.
+
+This package is the single source of graph structure for the whole
+repository: the k-machine simulator partitions these graphs, the sketch
+layer encodes their incidence vectors, and the distributed algorithms are
+validated against the sequential references here.
+"""
+
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+from repro.graphs.unionfind import UnionFind
+from repro.graphs import generators, reference
+from repro.graphs.io import load_edgelist, save_edgelist
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "UnionFind",
+    "generators",
+    "load_edgelist",
+    "reference",
+    "save_edgelist",
+]

@@ -1,0 +1,58 @@
+"""Plain-text edge-list persistence for examples and ad-hoc experiments.
+
+Format: a header line ``# n <n> m <m> weighted <0|1>`` followed by one
+``u v [w]`` triple per line.  Intentionally trivial — the repository has no
+external data dependencies; this exists so examples can save/reload the
+synthetic workloads they generate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["load_edgelist", "save_edgelist"]
+
+
+def save_edgelist(g: Graph, path: str | Path) -> None:
+    """Write ``g`` to ``path`` in the plain edge-list format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"# n {g.n} m {g.m} weighted {int(g.weighted)}\n")
+        if g.weighted:
+            for u, v, w in zip(g.edges_u, g.edges_v, g.weights):
+                fh.write(f"{int(u)} {int(v)} {float(w):.17g}\n")
+        else:
+            for u, v in zip(g.edges_u, g.edges_v):
+                fh.write(f"{int(u)} {int(v)}\n")
+
+
+def load_edgelist(path: str | Path) -> Graph:
+    """Read a graph previously written by :func:`save_edgelist`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = fh.readline().split()
+        if len(header) < 7 or header[0] != "#":
+            raise ValueError(f"bad edge-list header in {path}")
+        n = int(header[2])
+        weighted = bool(int(header[6]))
+        us: list[int] = []
+        vs: list[int] = []
+        ws: list[float] = []
+        for line in fh:
+            parts = line.split()
+            if not parts:
+                continue
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+            if weighted:
+                ws.append(float(parts[2]))
+    return Graph.from_edges(
+        n,
+        np.array(us, dtype=np.int64),
+        np.array(vs, dtype=np.int64),
+        np.array(ws, dtype=np.float64) if weighted else None,
+    )

@@ -1,0 +1,251 @@
+"""Sequential reference algorithms (ground truth for tests and benchmarks).
+
+Every distributed algorithm in :mod:`repro.core` is validated against these
+single-machine implementations: connected components via union-find,
+Kruskal/Prim MST, BFS-based diameter and bipartiteness, Stoer-Wagner exact
+min-cut, and the path/cycle predicates used by the verification problems of
+Theorem 4.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.unionfind import UnionFind
+
+__all__ = [
+    "bfs_distances",
+    "connected_components",
+    "count_components",
+    "diameter",
+    "edge_on_all_paths",
+    "gather_neighbors",
+    "has_cycle",
+    "is_bipartite",
+    "is_connected",
+    "kruskal_mst",
+    "mst_weight",
+    "prim_mst",
+    "st_connected",
+    "stoer_wagner_mincut",
+]
+
+
+def connected_components(g: Graph) -> np.ndarray:
+    """Component label per vertex, canonicalized to the component's min vertex id.
+
+    Canonical labels make results directly comparable across algorithms
+    (the distributed result exposes the same normalization via
+    ``ConnectivityResult.canonical()``).
+    """
+    uf = UnionFind(g.n)
+    for u, v in zip(g.edges_u, g.edges_v):
+        uf.union(int(u), int(v))
+    roots = uf.labels()
+    uniq, inv = np.unique(roots, return_inverse=True)
+    mins = np.full(uniq.size, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(mins, inv, np.arange(g.n, dtype=np.int64))
+    return mins[inv]
+
+
+def count_components(g: Graph) -> int:
+    """Number of connected components."""
+    uf = UnionFind(g.n)
+    for u, v in zip(g.edges_u, g.edges_v):
+        uf.union(int(u), int(v))
+    return uf.n_components
+
+
+def is_connected(g: Graph) -> bool:
+    """True iff the graph has exactly one connected component."""
+    return count_components(g) == 1
+
+
+def st_connected(g: Graph, s: int, t: int) -> bool:
+    """True iff ``s`` and ``t`` lie in the same component."""
+    labels = connected_components(g)
+    return bool(labels[s] == labels[t])
+
+
+def gather_neighbors(g: Graph, frontier: np.ndarray) -> np.ndarray:
+    """All neighbors of the frontier vertices, concatenated (with repeats).
+
+    Vectorized CSR gather: builds a flat index
+    ``[indptr[v] .. indptr[v+1]) for v in frontier`` without a Python loop
+    per vertex.
+    """
+    starts = g.indptr[frontier]
+    counts = (g.indptr[frontier + 1] - starts).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # offsets[i] = position in output where frontier[i]'s neighbors begin.
+    offsets = np.zeros(frontier.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    flat = np.arange(total, dtype=np.int64)
+    # For output slot j belonging to frontier vertex i:
+    #   index = starts[i] + (j - offsets[i])
+    owner = np.repeat(np.arange(frontier.size, dtype=np.int64), counts)
+    idx = starts[owner] + (flat - offsets[owner])
+    return g.indices[idx]
+
+
+def bfs_distances(g: Graph, source: int) -> np.ndarray:
+    """BFS hop distances from ``source`` (-1 for unreachable)."""
+    dist = np.full(g.n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        d += 1
+        nbrs = gather_neighbors(g, frontier)
+        if nbrs.size == 0:
+            break
+        nxt = np.unique(nbrs)
+        nxt = nxt[dist[nxt] < 0]
+        dist[nxt] = d
+        frontier = nxt
+    return dist
+
+
+def diameter(g: Graph) -> int:
+    """Exact diameter via all-sources BFS (use on small graphs only).
+
+    Raises ``ValueError`` on disconnected graphs.
+    """
+    best = 0
+    for s in range(g.n):
+        d = bfs_distances(g, s)
+        if np.any(d < 0):
+            raise ValueError("diameter undefined: graph is disconnected")
+        best = max(best, int(d.max()))
+    return best
+
+
+def has_cycle(g: Graph) -> bool:
+    """True iff the graph contains any cycle (m > n - #components)."""
+    return g.m > g.n - count_components(g)
+
+
+def is_bipartite(g: Graph) -> bool:
+    """Two-coloring test via BFS over all components."""
+    color = np.full(g.n, -1, dtype=np.int64)
+    for start in range(g.n):
+        if color[start] >= 0:
+            continue
+        color[start] = 0
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            cv = color[v]
+            for w in g.neighbors(v):
+                w = int(w)
+                if color[w] < 0:
+                    color[w] = 1 - cv
+                    stack.append(w)
+                elif color[w] == cv:
+                    return False
+    return True
+
+
+def edge_on_all_paths(g: Graph, eid: int, u: int, v: int) -> bool:
+    """True iff edge ``eid`` lies on every u-v path.
+
+    Per Section 3.3: e lies on all paths between u and v iff u and v are
+    disconnected in G minus e (assuming they are connected in G).
+    """
+    return not st_connected(g.without_edge(eid), u, v)
+
+
+def kruskal_mst(g: Graph) -> np.ndarray:
+    """Edge ids of a minimum spanning forest (Kruskal).
+
+    With unique weights the MSF is unique, enabling exact comparisons.
+    """
+    order = np.argsort(g.weights, kind="stable")
+    uf = UnionFind(g.n)
+    chosen: list[int] = []
+    for eid in order:
+        eid = int(eid)
+        if uf.union(int(g.edges_u[eid]), int(g.edges_v[eid])):
+            chosen.append(eid)
+    return np.array(sorted(chosen), dtype=np.int64)
+
+
+def prim_mst(g: Graph) -> np.ndarray:
+    """Edge ids of a minimum spanning forest (Prim with a heap).
+
+    Included as an independent cross-check of :func:`kruskal_mst`.
+    """
+    visited = np.zeros(g.n, dtype=bool)
+    chosen: list[int] = []
+    for root in range(g.n):
+        if visited[root]:
+            continue
+        visited[root] = True
+        heap: list[tuple[float, int, int]] = []
+        for pos in range(int(g.indptr[root]), int(g.indptr[root + 1])):
+            eid = int(g.edge_ids[pos])
+            heapq.heappush(heap, (float(g.weights[eid]), eid, int(g.indices[pos])))
+        while heap:
+            w, eid, to = heapq.heappop(heap)
+            if visited[to]:
+                continue
+            visited[to] = True
+            chosen.append(eid)
+            for pos in range(int(g.indptr[to]), int(g.indptr[to + 1])):
+                nxt = int(g.indices[pos])
+                if not visited[nxt]:
+                    ne = int(g.edge_ids[pos])
+                    heapq.heappush(heap, (float(g.weights[ne]), ne, nxt))
+    return np.array(sorted(chosen), dtype=np.int64)
+
+
+def mst_weight(g: Graph, edge_ids: np.ndarray | None = None) -> float:
+    """Total weight of the given edges (or of the Kruskal MSF)."""
+    ids = kruskal_mst(g) if edge_ids is None else np.asarray(edge_ids, dtype=np.int64)
+    return float(g.weights[ids].sum())
+
+
+def stoer_wagner_mincut(g: Graph) -> float:
+    """Exact global min-cut weight (Stoer-Wagner).
+
+    O(n^3)-ish dense implementation — ground truth for Theorem 3 tests on
+    graphs up to a few hundred vertices.  Requires a connected graph.
+    """
+    n = g.n
+    if n < 2:
+        raise ValueError("min cut needs n >= 2")
+    w = np.zeros((n, n), dtype=np.float64)
+    for u, v, wt in zip(g.edges_u, g.edges_v, g.weights):
+        w[u, v] += wt
+        w[v, u] += wt
+    active = list(range(n))
+    best = np.inf
+    merged_into = {i: [i] for i in range(n)}
+    while len(active) > 1:
+        # Maximum adjacency (minimum cut phase).
+        a = [active[0]]
+        in_a = {active[0]}
+        weights_to_a = {v: w[active[0], v] for v in active if v != active[0]}
+        while len(a) < len(active):
+            nxt = max(weights_to_a, key=lambda x: weights_to_a[x])
+            a.append(nxt)
+            in_a.add(nxt)
+            del weights_to_a[nxt]
+            for v in weights_to_a:
+                weights_to_a[v] += w[nxt, v]
+        s, t = a[-2], a[-1]
+        cut_of_phase = float(sum(w[t, v] for v in active if v != t))
+        best = min(best, cut_of_phase)
+        # Merge t into s.
+        for v in active:
+            if v not in (s, t):
+                w[s, v] += w[t, v]
+                w[v, s] = w[s, v]
+        merged_into[s].extend(merged_into[t])
+        active.remove(t)
+    return best

@@ -1,0 +1,29 @@
+"""Section 4: lower-bound constructions and 2-party simulations.
+
+* :mod:`repro.lowerbounds.disjointness` — random-input-partition set
+  disjointness (Lemma 8).
+* :mod:`repro.lowerbounds.scs_instance` — the Figure-1 SCS reduction graph
+  with its Alice/Bob machine assignment.
+* :mod:`repro.lowerbounds.simulation` — run the real SCS protocol and
+  measure the 2-party cut communication (Theorem 5).
+"""
+
+from repro.lowerbounds.disjointness import (
+    DisjointnessInstance,
+    is_disjoint,
+    make_instance,
+    trivial_protocol_bits,
+)
+from repro.lowerbounds.scs_instance import SCSInstance, build_scs_instance
+from repro.lowerbounds.simulation import SimulationOutcome, simulate_scs_protocol
+
+__all__ = [
+    "DisjointnessInstance",
+    "SCSInstance",
+    "SimulationOutcome",
+    "build_scs_instance",
+    "is_disjoint",
+    "make_instance",
+    "simulate_scs_protocol",
+    "trivial_protocol_bits",
+]

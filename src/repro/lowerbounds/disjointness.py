@@ -1,0 +1,91 @@
+"""2-party set disjointness in the random-input-partition model (Section 4).
+
+Lemma 8 (= [22, Lemma 3.2]): solving b-bit set disjointness with error
+below a fixed constant requires Omega(b) bits of communication *even when*,
+in addition to her own input X, Alice learns each bit of Bob's input Y
+independently with probability 1/2 (and symmetrically for Bob).
+
+This module provides instance generation for that input distribution, the
+deterministic ground truth, and the trivial upper-bound protocol (ship the
+unknown half), which the SCS simulation's measured cut traffic is compared
+against in ``bench_lowerbound_scs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+__all__ = ["DisjointnessInstance", "is_disjoint", "make_instance", "trivial_protocol_bits"]
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """One random-partition disjointness instance.
+
+    Attributes
+    ----------
+    x / y:
+        The input bit vectors (``int64[b]``, values 0/1).
+    y_known_to_alice / x_known_to_bob:
+        The random revelation masks of the model.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    y_known_to_alice: np.ndarray
+    x_known_to_bob: np.ndarray
+
+    @property
+    def b(self) -> int:
+        """Instance size."""
+        return int(self.x.size)
+
+
+def is_disjoint(x: np.ndarray, y: np.ndarray) -> bool:
+    """Ground truth: no index i with x[i] = y[i] = 1."""
+    return not bool(np.any((np.asarray(x) == 1) & (np.asarray(y) == 1)))
+
+
+def make_instance(
+    b: int, seed: int = 0, intersecting: bool | None = None, density: float = 0.3
+) -> DisjointnessInstance:
+    """Generate an instance; optionally force (non-)intersection.
+
+    ``intersecting=None`` draws i.i.d. bits; True plants exactly one common
+    index on top of otherwise disjoint supports; False rejects overlaps.
+    """
+    if b < 1:
+        raise ValueError("b must be >= 1")
+    rng = np.random.default_rng(derive_seed(seed, b, 0xD15))
+    if intersecting is None:
+        x = (rng.random(b) < density).astype(np.int64)
+        y = (rng.random(b) < density).astype(np.int64)
+    else:
+        # Disjoint supports: split indices between the players.
+        side = rng.random(b) < 0.5
+        x = ((rng.random(b) < 2 * density) & side).astype(np.int64)
+        y = ((rng.random(b) < 2 * density) & ~side).astype(np.int64)
+        if intersecting:
+            i = int(rng.integers(0, b))
+            x[i] = 1
+            y[i] = 1
+    return DisjointnessInstance(
+        x=x,
+        y=y,
+        y_known_to_alice=rng.random(b) < 0.5,
+        x_known_to_bob=rng.random(b) < 0.5,
+    )
+
+
+def trivial_protocol_bits(instance: DisjointnessInstance) -> int:
+    """Bits of the trivial protocol: Alice ships the X bits Bob lacks.
+
+    Bob then computes the answer locally and returns one bit.  Expected
+    cost b/2 + 1 — the upper-bound envelope for the measured cut traffic.
+    """
+    unknown_to_bob = int((~instance.x_known_to_bob).sum())
+    return unknown_to_bob + 1

@@ -1,0 +1,105 @@
+"""The Theorem-5 reduction instance: Figure 1 made executable.
+
+Given a disjointness instance (X, Y) with b = (n-2)/2, builds
+
+* the graph G on n = 2b + 2 vertices (s, t, u_1..u_b, v_1..v_b) with edges
+  (s,t), (u_i,v_i), (s,u_i), (v_i,t);
+* the subgraph H containing (s,t), all (u_i,v_i), plus (s,u_i) iff X[i]=0
+  and (v_i,t) iff Y[i]=0 — so H is a spanning connected subgraph iff
+  X and Y are disjoint;
+* the machine assignment of the simulation argument: Alice simulates
+  machines 0..k/2-1, Bob the rest; u_i lives on the side that *received*
+  X[i] in the random-partition model, v_i on the side that received Y[i];
+  s is assigned to Bob's side and t to Alice's side (the proof's MX != MY
+  case — the MX = MY case aborts and contributes the +1/k error term).
+
+The resulting vertex distribution is exactly an RVP restricted to the
+event the proof conditions on, which is what lets the measured cut traffic
+of a real protocol stand in for the communication-complexity quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.partition import VertexPartition
+from repro.graphs.generators import lower_bound_graph
+from repro.graphs.graph import Graph
+from repro.lowerbounds.disjointness import DisjointnessInstance
+from repro.util.rng import derive_seed
+
+__all__ = ["SCSInstance", "build_scs_instance"]
+
+
+@dataclass(frozen=True)
+class SCSInstance:
+    """A fully-specified Theorem-5 SCS instance.
+
+    Attributes
+    ----------
+    graph / h_mask:
+        The Figure-1 graph and the H-membership mask over its edges.
+    partition:
+        Vertex -> machine assignment per the simulation argument.
+    alice_machines / bob_machines:
+        The two halves of the machine set.
+    expected_answer:
+        True iff X and Y are disjoint (H is an SCS).
+    """
+
+    graph: Graph
+    h_mask: np.ndarray
+    partition: VertexPartition
+    alice_machines: np.ndarray
+    bob_machines: np.ndarray
+    expected_answer: bool
+
+
+def build_scs_instance(
+    instance: DisjointnessInstance, k: int, seed: int = 0
+) -> SCSInstance:
+    """Build graph, subgraph, and machine assignment from a disjointness instance."""
+    if k < 4 or k % 2:
+        raise ValueError("the reduction needs even k >= 4")
+    x, y = instance.x, instance.y
+    b = instance.b
+    graph, h_mask = lower_bound_graph(x, y)
+    n = graph.n
+    rng = np.random.default_rng(derive_seed(seed, 0x5C5, b, k))
+    half = k // 2
+    alice = np.arange(half, dtype=np.int64)
+    bob = np.arange(half, k, dtype=np.int64)
+    home = np.empty(n, dtype=np.int64)
+    # s -> random Bob machine, t -> random Alice machine (the MX != MY case).
+    home[0] = int(rng.integers(half, k))  # s
+    home[1] = int(rng.integers(0, half))  # t
+    # u_i follows the ownership of X[i]; v_i follows Y[i].
+    u_on_alice = ~instance.x_known_to_bob  # Alice holds X entirely; Bob knows a random half.
+    # Per the proof: the player who *received* the bit in the random input
+    # partition hosts the vertex.  X[i] goes to Bob iff revealed to Bob.
+    u_home = np.where(
+        u_on_alice,
+        rng.integers(0, half, size=b),
+        rng.integers(half, k, size=b),
+    )
+    v_on_bob = ~instance.y_known_to_alice
+    v_home = np.where(
+        v_on_bob,
+        rng.integers(half, k, size=b),
+        rng.integers(0, half, size=b),
+    )
+    home[2 : 2 + b] = u_home
+    home[2 + b : 2 + 2 * b] = v_home
+    partition = VertexPartition(k=k, home=home, seed=derive_seed(seed, 0x5C6))
+    from repro.lowerbounds.disjointness import is_disjoint
+
+    return SCSInstance(
+        graph=graph,
+        h_mask=h_mask,
+        partition=partition,
+        alice_machines=alice,
+        bob_machines=bob,
+        expected_answer=is_disjoint(x, y),
+    )

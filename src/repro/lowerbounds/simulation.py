@@ -1,0 +1,94 @@
+"""The 2-party simulation of Theorem 5, run against the real protocol.
+
+Theorem 5's argument: any k-machine protocol for SCS can be simulated by
+Alice and Bob (each running k/2 machines), exchanging only the bits that
+cross the machine cut; one k-machine round moves at most O~(k^2) bits
+across the cut, so a protocol with T rounds yields a
+O(T k^2 polylog n)-bit disjointness protocol — forcing
+T = Omega~(b / k^2) = Omega~(n / k^2).
+
+This module *executes* that simulation: it runs our actual SCS
+verification protocol (Theorem 4) on the Figure-1 instance and measures
+
+* the answer (must equal the disjointness ground truth),
+* the bits crossing the Alice/Bob cut (Lemma 8 says Omega(b) for any
+  correct protocol family),
+* the simulation inequality ``cut_bits <= rounds * (k^2/4) * 2B`` linking
+  round complexity to communication.
+
+``bench_lowerbound_scs`` sweeps b and reports all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import KMachineCluster
+from repro.core.verify import spanning_connected_subgraph
+from repro.lowerbounds.disjointness import DisjointnessInstance, make_instance
+from repro.lowerbounds.scs_instance import SCSInstance, build_scs_instance
+from repro.util.rng import derive_seed
+
+__all__ = ["SimulationOutcome", "simulate_scs_protocol"]
+
+
+@dataclass(frozen=True)
+class SimulationOutcome:
+    """Measurements of one simulated SCS run.
+
+    Attributes
+    ----------
+    b:
+        Disjointness instance size ((n-2)/2 gadgets).
+    answer / expected:
+        Protocol output vs ground truth.
+    rounds:
+        k-machine rounds of the SCS protocol.
+    cut_bits:
+        Bits crossing the Alice/Bob machine cut — the 2-party
+        communication of the simulated protocol.
+    cut_capacity_bits:
+        ``rounds * (k^2/4) * 2B`` — what the cut could carry; the
+        simulation inequality requires ``cut_bits <= cut_capacity_bits``.
+    """
+
+    b: int
+    answer: bool
+    expected: bool
+    rounds: int
+    cut_bits: int
+    cut_capacity_bits: int
+
+    @property
+    def correct(self) -> bool:
+        """Protocol answered the disjointness instance correctly."""
+        return self.answer == self.expected
+
+
+def simulate_scs_protocol(
+    b: int,
+    k: int,
+    seed: int = 0,
+    intersecting: bool | None = None,
+    instance: DisjointnessInstance | None = None,
+    **kw: object,
+) -> SimulationOutcome:
+    """Build a Figure-1 instance, run SCS verification, measure the cut."""
+    if instance is None:
+        instance = make_instance(b, seed=seed, intersecting=intersecting)
+    scs: SCSInstance = build_scs_instance(instance, k, seed=derive_seed(seed, 0x51))
+    cluster = KMachineCluster.create(
+        scs.graph, k, derive_seed(seed, 0x52), partition=scs.partition
+    )
+    result = spanning_connected_subgraph(cluster, scs.h_mask, seed=derive_seed(seed, 0x53), **kw)
+    cut = cluster.ledger.cut_bits(scs.alice_machines)
+    bw = cluster.topology.bandwidth_bits
+    capacity = result.rounds * (k * k // 4) * 2 * bw
+    return SimulationOutcome(
+        b=instance.b,
+        answer=result.answer,
+        expected=scs.expected_answer,
+        rounds=result.rounds,
+        cut_bits=cut,
+        cut_capacity_bits=capacity,
+    )

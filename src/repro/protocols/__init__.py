@@ -1,0 +1,25 @@
+"""Executable engine-level protocols (mailboxes, not bulk accounting).
+
+* :mod:`repro.protocols.base` — typed machine-program scaffolding.
+* :mod:`repro.protocols.leader` — the O(1)-round referee election the
+  Section-2 warm-up invokes ([24]), engine and bulk variants.
+* :mod:`repro.protocols.bfs` — vertex-level distributed BFS (the
+  Theta(n/k + D) profile, executed for real).
+"""
+
+from repro.protocols.base import TypedProgram
+from repro.protocols.bfs import BFSProgram, bfs_distances_distributed
+from repro.protocols.leader import (
+    LeaderElectionProgram,
+    charge_leader_election,
+    elect_leader,
+)
+
+__all__ = [
+    "BFSProgram",
+    "LeaderElectionProgram",
+    "TypedProgram",
+    "bfs_distances_distributed",
+    "charge_leader_election",
+    "elect_leader",
+]

@@ -1,0 +1,77 @@
+"""Base class for engine-level machine programs.
+
+The bulk-accounting layer (`repro.cluster.comm`) is how the main
+algorithms are costed; this package contains *executable* protocols for
+the :class:`~repro.cluster.engine.SyncEngine` — real message-passing
+programs with mailboxes, used where the paper invokes concrete O(1)-round
+primitives (leader election [24]) and for cross-validation of the bulk
+accounting on vertex-level computations (flooding, BFS).
+
+:class:`TypedProgram` adds small conveniences over the raw protocol:
+typed message dispatch (payloads are ``(tag, body)`` tuples routed to
+``on_<tag>`` handlers) and a send buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.engine import Envelope
+
+__all__ = ["TypedProgram"]
+
+
+class TypedProgram:
+    """Machine program with tag-dispatched handlers.
+
+    Subclasses implement ``start(machine)`` (called on round 1) and
+    ``on_<tag>(machine, round_no, src, body)`` handlers; both emit
+    messages via :meth:`send`.  ``done`` controls engine termination.
+    """
+
+    def __init__(self) -> None:
+        self._outbox: list[Envelope] = []
+        self._machine: int | None = None
+        self.done = True  # passive by default; engine stops when quiescent
+
+    # -- emission ------------------------------------------------------------
+
+    def send(self, dst: int, tag: str, body: Any, bits: int) -> None:
+        """Queue a message for delivery this round."""
+        if self._machine is None:
+            raise RuntimeError("send() outside of a round")
+        self._outbox.append(Envelope(self._machine, dst, bits, (tag, body)))
+
+    def broadcast(self, k: int, tag: str, body: Any, bits: int) -> None:
+        """Queue a message to every other machine."""
+        if self._machine is None:
+            raise RuntimeError("broadcast() outside of a round")
+        for dst in range(k):
+            if dst != self._machine:
+                self.send(dst, tag, body, bits)
+
+    # -- engine protocol -------------------------------------------------------
+
+    def start(self, machine: int) -> None:  # pragma: no cover - default no-op
+        """Hook invoked once, at the beginning of round 1."""
+
+    def on_round(self, machine: int, round_no: int, inbox: list[Envelope]) -> list[Envelope]:
+        """Dispatch inbox to handlers; collect sends."""
+        self._machine = machine
+        self._outbox = []
+        try:
+            if round_no == 1:
+                self.start(machine)
+            for env in inbox:
+                tag, body = env.payload
+                handler = getattr(self, f"on_{tag}", None)
+                if handler is None:
+                    raise ValueError(f"{type(self).__name__} has no handler for tag {tag!r}")
+                handler(machine, round_no, env.src, body)
+            return self._outbox
+        finally:
+            self._machine = None
+
+    def is_done(self, machine: int) -> bool:
+        """Engine termination predicate."""
+        return self.done

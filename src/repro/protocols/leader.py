@@ -1,0 +1,79 @@
+"""O(1)-round randomized leader election among the k machines.
+
+Section 2's warm-up ("one could first elect a referee among the machines,
+which requires O(1) rounds [24]") invokes Kutten et al.'s sublinear leader
+election.  On a complete k-machine network the textbook instantiation is a
+single exchange: every machine draws a random 64-bit ID, broadcasts it,
+and the maximum (ties broken by machine index) wins — one communication
+round, O(k log n) total bits, error-free given distinct draws.
+
+This module provides both the engine-level executable program and a bulk
+variant that charges a :class:`~repro.cluster.ledger.RoundLedger` (used by
+the referee baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.comm import CommStep
+from repro.cluster.engine import SyncEngine
+from repro.cluster.ledger import RoundLedger
+from repro.cluster.topology import ClusterTopology
+from repro.protocols.base import TypedProgram
+from repro.util.rng import SeedStream, derive_seed
+
+__all__ = ["LeaderElectionProgram", "elect_leader", "charge_leader_election"]
+
+
+class LeaderElectionProgram(TypedProgram):
+    """Every machine broadcasts a random draw; max (draw, id) wins."""
+
+    def __init__(self, k: int, seed: int) -> None:
+        super().__init__()
+        self.k = k
+        self.seed = seed
+        self.leader: int | None = None
+        self._draws: dict[int, int] = {}
+
+    def start(self, machine: int) -> None:
+        draw = SeedStream(derive_seed(self.seed, machine)).next_u64()
+        self._draws[machine] = draw
+        self.broadcast(self.k, "draw", draw, bits=64)
+        if self.k == 1:  # pragma: no cover - degenerate
+            self.leader = machine
+
+    def on_draw(self, machine: int, round_no: int, src: int, body: int) -> None:
+        self._draws[src] = body
+        if len(self._draws) == self.k:
+            self.leader = max(self._draws, key=lambda m: (self._draws[m], m))
+
+
+def elect_leader(k: int, seed: int, bandwidth_bits: int = 1024) -> tuple[int, int]:
+    """Run the election on the engine; return (leader, rounds).
+
+    All machines deterministically agree on the same leader.
+    """
+    topo = ClusterTopology(k=k, bandwidth_bits=bandwidth_bits)
+    programs = [LeaderElectionProgram(k, seed) for _ in range(k)]
+    result = SyncEngine(topo).run(programs, max_rounds=64 * k + 16)
+    leaders = {p.leader for p in programs}
+    if len(leaders) != 1 or None in leaders:
+        raise RuntimeError("leader election did not converge")
+    return programs[0].leader, result.rounds  # type: ignore[return-value]
+
+
+def charge_leader_election(ledger: RoundLedger, seed: int = 0) -> tuple[int, int]:
+    """Bulk-accounted election: charge the all-to-all draw exchange.
+
+    Returns (leader, rounds charged).
+    """
+    k = ledger.topology.k
+    step = CommStep(ledger, "leader-election")
+    for src in range(k):
+        dsts = np.setdiff1d(np.arange(k, dtype=np.int64), np.array([src]))
+        step.add(src, dsts, 64)
+    rounds = step.deliver()
+    draws = [SeedStream(derive_seed(seed, m)).next_u64() for m in range(k)]
+    leader = max(range(k), key=lambda m: (draws[m], m))
+    return leader, rounds

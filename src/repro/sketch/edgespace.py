@@ -1,0 +1,68 @@
+"""Canonical edge-slot encoding for incidence vectors (Section 2.3).
+
+The paper defines, for each vertex ``u``, the incidence vector
+``a_u in {-1, 0, 1}^(n choose 2)`` with
+
+* ``a_u[(x, y)] = +1`` if ``u = x < y`` and ``(x, y) in E``,
+* ``a_u[(x, y)] = -1`` if ``x < y = u`` and ``(x, y) in E``,
+* ``0`` otherwise.
+
+We index slot ``(x, y)`` (with ``x < y``) as ``id = x * n + y`` — a sparse
+injection into ``[0, n^2)`` that is cheap to encode/decode vectorized.  The
+sign convention means that summing ``a_u`` over a vertex set S cancels
+every edge internal to S and leaves coefficient ``+1`` (resp. ``-1``) on
+outgoing edges whose *smaller*-id endpoint is inside (resp. outside) S —
+which is how :mod:`repro.core.outgoing` identifies the internal endpoint of
+a sampled edge without extra communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "decode_slot",
+    "encode_slot",
+    "incident_slots_and_signs",
+    "max_slot_bits",
+]
+
+
+def encode_slot(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Slot ids for edges ``{u, v}`` (canonicalized to min*n + max)."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    return (lo * np.int64(n) + hi).astype(np.uint64)
+
+
+def decode_slot(n: int, slot: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_slot`: slot -> (smaller, larger) endpoints."""
+    s = np.asarray(slot, dtype=np.uint64)
+    nn = np.uint64(n)
+    return (s // nn).astype(np.int64), (s % nn).astype(np.int64)
+
+
+def max_slot_bits(n: int) -> int:
+    """Bit length of the largest slot id (caps powmod iterations)."""
+    return max(1, int(np.uint64(n) * np.uint64(n) - np.uint64(1)).bit_length())
+
+
+def incident_slots_and_signs(
+    n: int,
+    owners: np.ndarray,
+    others: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Slots and signs contributed by directed incidences ``owner -> other``.
+
+    For each incidence (an edge endpoint owned by vertex ``owners[i]`` whose
+    opposite endpoint is ``others[i]``), returns the canonical slot id and
+    the sign of ``a_owner`` at that slot: ``+1`` if owner is the smaller
+    endpoint, ``-1`` otherwise.
+    """
+    owners = np.asarray(owners, dtype=np.int64)
+    others = np.asarray(others, dtype=np.int64)
+    slots = encode_slot(n, owners, others)
+    signs = np.where(owners < others, np.int64(1), np.int64(-1))
+    return slots, signs

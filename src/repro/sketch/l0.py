@@ -1,0 +1,404 @@
+"""Linear l0-sampling graph sketches (Section 2.3 of the paper, after [2, 17, 32]).
+
+A sketch of a vector ``a in {-1,0,1}^(n^2)`` (an incidence vector, or a sum
+of incidence vectors of a vertex set) consists of ``R`` independent
+repetitions; each repetition assigns every edge slot a geometric *level*
+(slot reaches level ``l`` with probability ``2^-l``) using a hash drawn
+from a Theta(log n)-wise independent family, and maintains per level the
+triple
+
+* ``c`` — sum of surviving coefficients (signed count),
+* ``s`` — sum of ``coefficient * slot_id`` (exact, signed),
+* ``f`` — fingerprint ``sum coefficient * r^slot_id mod p`` with
+  ``p = 2^61 - 1`` and per-repetition random base ``r``.
+
+The triples are **linear** in the underlying vector, so the sketch of a
+component is the entrywise sum of the sketches of its parts — the property
+Lemma 2 exploits to combine part sketches at a proxy machine without
+looking at any edges.
+
+A level holding exactly one surviving slot (coefficient ``+-1``) is
+recoverable: ``c in {-1, +1}`` and ``slot = c * s``; the fingerprint check
+``f === c * r^slot (mod p)`` rejects multi-slot collisions with error
+probability ``< 2^40 / 2^61`` per cell.  The zero vector is detected via
+the level-0 fingerprints of all repetitions (level 0 retains every slot).
+
+Exactness
+---------
+All accumulation is integer-exact: counts and id-sums use int64 (valid
+whenever ``total_incidences * n^2 < 2^62``, enforced by
+:class:`SketchSpec`), and mod-p fingerprint scatter-adds split values into
+30-bit halves so intermediate sums never overflow (see
+:func:`_modp_scatter_sum`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketch.edgespace import max_slot_bits
+from repro.sketch.field import MERSENNE_P, addmod, mulmod, powmod
+from repro.sketch.kwise import make_hash
+from repro.util.rng import derive_seed
+
+__all__ = ["SketchSpec", "SketchContext", "SketchBundle", "SampleResult"]
+
+_P = np.uint64(MERSENNE_P)
+_LOW30 = np.int64((1 << 30) - 1)
+_TWO30 = np.uint64(1 << 30)
+
+
+def _modp_scatter_sum(values: np.ndarray, signs: np.ndarray, idx: np.ndarray, n_out: int) -> np.ndarray:
+    """Exact ``sum_j signs[j] * values[j] mod p`` grouped by ``idx``.
+
+    ``values`` are in ``[0, p)``; a direct uint64 ``np.add.at`` would wrap
+    mod 2^64 (not mod p) once more than 8 values land in a bin.  Splitting
+    each value into 30-bit halves keeps both signed accumulators within
+    int64 for up to ~2^32 contributions per bin.
+    """
+    v = values.astype(np.int64)
+    lo = (v & _LOW30) * signs
+    hi = (v >> np.int64(30)) * signs
+    acc_lo = np.zeros(n_out, dtype=np.int64)
+    acc_hi = np.zeros(n_out, dtype=np.int64)
+    np.add.at(acc_lo, idx, lo)
+    np.add.at(acc_hi, idx, hi)
+    return _combine_halves(acc_lo, acc_hi)
+
+
+def _combine_halves(acc_lo: np.ndarray, acc_hi: np.ndarray) -> np.ndarray:
+    """Recombine signed 30-bit-split accumulators into values mod p."""
+    p = np.int64(MERSENNE_P)
+    lo_m = (acc_lo % p).astype(np.uint64)
+    hi_m = (acc_hi % p).astype(np.uint64)
+    return addmod(mulmod(hi_m, _TWO30), lo_m)
+
+
+@dataclass(frozen=True)
+class SketchSpec:
+    """Parameters of one *phase sketch matrix* L_j (Section 2.3).
+
+    A fresh spec (new ``seed``) is drawn for every phase of the
+    connectivity algorithm and for every elimination iteration of the MST
+    algorithm — mirroring the paper's per-phase sketch matrices.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices (slot universe is ``[0, n^2)``).
+    repetitions:
+        Independent l0-sampler copies; each succeeds with constant
+        probability, so failure decays geometrically.
+    levels:
+        Geometric levels per repetition (``max_slot_bits(n) + 2``
+        by default, enough to isolate a single surviving slot).
+    seed:
+        Randomness key (level hashes and fingerprint bases derive from it).
+    hash_family:
+        ``'polynomial'`` for provable Theta(log n)-wise independence,
+        ``'prf'`` for the fast keyed-PRF path (see DESIGN.md).
+    """
+
+    n: int
+    repetitions: int
+    levels: int
+    seed: int
+    hash_family: str = "polynomial"
+
+    @staticmethod
+    def for_graph(
+        n: int,
+        seed: int,
+        repetitions: int = 6,
+        hash_family: str = "polynomial",
+    ) -> "SketchSpec":
+        """Standard spec for an n-vertex graph."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if n > (1 << 20):
+            raise ValueError(
+                "n > 2^20 would overflow exact int64 id-sum accounting; "
+                "see SketchSpec docstring"
+            )
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        levels = max(4, max_slot_bits(n) + 2)
+        return SketchSpec(
+            n=n, repetitions=repetitions, levels=levels, seed=seed, hash_family=hash_family
+        )
+
+    @property
+    def message_bits(self) -> int:
+        """Bits one sketch occupies on a link (honest information content).
+
+        Per level: count (<= 64 bits), id-sum (2*log2 n + overhead, charged
+        64), fingerprint (61 bits, charged 64).  This is O(log^2 n) bits
+        total, matching Lemma 2's O(polylog n).
+        """
+        return self.repetitions * self.levels * 3 * 64
+
+    def fingerprint_base(self, rep: int) -> int:
+        """The random evaluation point r for repetition ``rep`` (in [2, p))."""
+        r = derive_seed(self.seed, 0xF1, rep) % (MERSENNE_P - 2) + 2
+        return r
+
+
+@dataclass
+class SketchBundle:
+    """Sketches of ``G`` groups: triples of shape ``(G, R, L)``.
+
+    Supports the two linear operations the algorithms need: entrywise
+    addition (:meth:`add`) and regrouping (:meth:`aggregate`), plus the
+    query operations :meth:`sample` and :meth:`nonzero_mask`.
+    """
+
+    spec: SketchSpec
+    counts: np.ndarray  # int64 (G, R, L)
+    sums: np.ndarray  # int64 (G, R, L), exact signed slot-id sums
+    fps: np.ndarray  # uint64 (G, R, L), values in [0, p)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of sketched groups."""
+        return int(self.counts.shape[0])
+
+    def add(self, other: "SketchBundle") -> "SketchBundle":
+        """Entrywise sum (sketch linearity; groups must align)."""
+        if other.spec != self.spec:
+            raise ValueError("cannot add sketches with different specs")
+        if other.counts.shape != self.counts.shape:
+            raise ValueError("group shapes differ")
+        return SketchBundle(
+            spec=self.spec,
+            counts=self.counts + other.counts,
+            sums=self.sums + other.sums,
+            fps=addmod(self.fps, other.fps),
+        )
+
+    def aggregate(self, group_map: np.ndarray, n_out: int) -> "SketchBundle":
+        """Sum rows into ``n_out`` new groups: row g -> group_map[g].
+
+        This is the proxy-side combination of Lemma 2: summing the part
+        sketches of a component yields the component sketch.
+        """
+        gm = np.asarray(group_map, dtype=np.int64)
+        if gm.shape != (self.n_groups,):
+            raise ValueError("group_map must have one entry per group")
+        r, l = self.spec.repetitions, self.spec.levels
+        counts = np.zeros((n_out, r, l), dtype=np.int64)
+        sums = np.zeros((n_out, r, l), dtype=np.int64)
+        np.add.at(counts, gm, self.counts)
+        np.add.at(sums, gm, self.sums)
+        # Fingerprints: 30-bit-split exact mod-p scatter.
+        lo = np.zeros((n_out, r, l), dtype=np.int64)
+        hi = np.zeros((n_out, r, l), dtype=np.int64)
+        f_i = self.fps.astype(np.int64)
+        np.add.at(lo, gm, f_i & _LOW30)
+        np.add.at(hi, gm, f_i >> np.int64(30))
+        return SketchBundle(self.spec, counts, sums, _combine_halves(lo, hi))
+
+    # -- queries -----------------------------------------------------------
+
+    def nonzero_mask(self) -> np.ndarray:
+        """Per group: True if the sketched vector is (w.h.p.) nonzero.
+
+        Level 0 of every repetition retains all slots, so the vector is
+        zero iff every repetition's level-0 fingerprint vanishes.  A false
+        'zero' requires all R level-0 fingerprints of a nonzero polynomial
+        to vanish simultaneously.
+        """
+        return np.any(self.fps[:, :, 0] != 0, axis=1)
+
+    def sample(self) -> "SampleResult":
+        """Recover one surviving slot per group where possible.
+
+        Scans all (repetition, level) cells for verified one-sparse
+        recoveries and returns, per group, the recovery from the deepest
+        valid level of the first succeeding repetition (deep levels have
+        the fewest survivors, giving the closest-to-uniform choice).
+        """
+        g, r, l = self.counts.shape
+        c = self.counts
+        cand = np.abs(c) == 1
+        slots_all = self.sums * c  # c in {-1,+1} on candidate cells
+        n2 = np.int64(self.spec.n) * np.int64(self.spec.n)
+        cand &= (slots_all >= 0) & (slots_all < n2)
+        found = np.zeros(g, dtype=bool)
+        out_slot = np.full(g, -1, dtype=np.int64)
+        out_sign = np.zeros(g, dtype=np.int64)
+        if not cand.any():
+            return SampleResult(found, out_slot, out_sign)
+        gi, ri, li = np.nonzero(cand)
+        slots = slots_all[gi, ri, li].astype(np.uint64)
+        signs = c[gi, ri, li]
+        fps = self.fps[gi, ri, li]
+        # Verify fingerprints per candidate, batched by repetition (the
+        # base r differs across repetitions).
+        ok = np.zeros(gi.size, dtype=bool)
+        bits = max_slot_bits(self.spec.n)
+        for rep in range(r):
+            sel = ri == rep
+            if not sel.any():
+                continue
+            base = np.uint64(self.spec.fingerprint_base(rep))
+            expected = powmod(base, slots[sel], max_exp_bits=bits)
+            neg = signs[sel] < 0
+            exp_signed = expected.copy()
+            exp_signed[neg] = (_P - expected[neg]) % _P
+            ok[sel] = fps[sel] == exp_signed
+        if not ok.any():
+            return SampleResult(found, out_slot, out_sign)
+        gi, ri, li, slots, signs = gi[ok], ri[ok], li[ok], slots[ok], signs[ok]
+        # Order candidates: repetition ascending, level descending; take the
+        # first per group.
+        order = np.lexsort(((l - 1 - li), ri, gi))
+        gi_o = gi[order]
+        first = np.ones(gi_o.size, dtype=bool)
+        first[1:] = gi_o[1:] != gi_o[:-1]
+        pick = order[first]
+        found[gi[pick]] = True
+        out_slot[gi[pick]] = slots[pick].astype(np.int64)
+        out_sign[gi[pick]] = signs[pick]
+        return SampleResult(found, out_slot, out_sign)
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """Per-group l0-sample outcome.
+
+    Attributes
+    ----------
+    found:
+        ``bool[G]``; True where a verified recovery succeeded.
+    slots:
+        ``int64[G]``; recovered canonical slot id (-1 where not found).
+    signs:
+        ``int64[G]``; +1 if the *smaller* slot endpoint lies inside the
+        sketched vertex set, -1 if the larger one does, 0 where not found.
+    """
+
+    found: np.ndarray
+    slots: np.ndarray
+    signs: np.ndarray
+
+
+class SketchContext:
+    """Per-phase randomness evaluated once over a fixed incidence list.
+
+    The graph's incidence list (slot, sign) never changes; only the group
+    assignment (component labels) and the sketch randomness (per phase) do.
+    ``SketchContext`` therefore precomputes, per repetition, each
+    incidence's sampling level and fingerprint contribution, after which
+    *any* grouping can be sketched with three scatter-adds
+    (:meth:`group_sums`).  This keeps per-phase work O(R * E) with small
+    constants — the optimization that makes large sweeps feasible.
+
+    In model terms each machine computes this context restricted to its own
+    incidences; because the computation is pointwise over incidences, the
+    global precomputation used here is exactly the union of the local ones
+    (no information crosses machines).
+    """
+
+    def __init__(self, spec: SketchSpec, slots: np.ndarray, signs: np.ndarray) -> None:
+        self.spec = spec
+        self.slots = np.asarray(slots, dtype=np.uint64)
+        self.signs = np.asarray(signs, dtype=np.int64)
+        if self.slots.shape != self.signs.shape or self.slots.ndim != 1:
+            raise ValueError("slots and signs must be 1-D of equal length")
+        e = self.slots.size
+        r, l = spec.repetitions, spec.levels
+        self.depths = np.empty((r, e), dtype=np.int64)
+        self.fp_contrib = np.empty((r, e), dtype=np.uint64)
+        bits = max_slot_bits(spec.n)
+        # Descending thresholds T[l] = p >> l; depth = (#thresholds > h) - 1.
+        thresholds = MERSENNE_P >> np.arange(l, dtype=np.uint64)
+        asc = thresholds[::-1].copy()
+        for rep in range(r):
+            h = make_hash(
+                derive_seed(spec.seed, 0x1E, rep), independence=bits + 4, family=spec.hash_family
+            ).values(self.slots)
+            gt = l - np.searchsorted(asc, h, side="right")
+            self.depths[rep] = np.clip(gt - 1, 0, l - 1)
+            self.fp_contrib[rep] = self._slot_powers(rep)
+
+    def _slot_powers(self, rep: int) -> np.ndarray:
+        """r^slot mod p for every incidence, via two n-sized power tables.
+
+        ``slot = x*n + y`` with ``x, y < n`` gives
+        ``r^slot = (r^n)^x * r^y``; building both tables costs O(n)
+        mulmods (doubling construction) instead of O(E log n) powmods.
+        """
+        n = self.spec.n
+        base = np.uint64(self.spec.fingerprint_base(rep))
+        table_low = _power_table(base, n)
+        r_n = table_low[-1] if n >= 1 else np.uint64(1)
+        r_n = mulmod(r_n, base)  # table_low[-1] = r^(n-1) -> r^n
+        table_high = _power_table(np.uint64(r_n), n)
+        x = (self.slots // np.uint64(n)).astype(np.int64)
+        y = (self.slots % np.uint64(n)).astype(np.int64)
+        return mulmod(table_high[x], table_low[y])
+
+    @property
+    def n_incidences(self) -> int:
+        """Number of (slot, sign) incidences in the context."""
+        return int(self.slots.size)
+
+    def group_sums(
+        self,
+        group_idx: np.ndarray,
+        n_groups: int,
+        mask: np.ndarray | None = None,
+    ) -> SketchBundle:
+        """Sketch every group: incidence i contributes to group ``group_idx[i]``.
+
+        ``mask`` (optional) drops incidences — used by the MST edge
+        elimination, which zeroes out slots whose edge weight exceeds the
+        current threshold (Section 3.1).
+        """
+        gi = np.asarray(group_idx, dtype=np.int64)
+        if gi.shape != self.slots.shape:
+            raise ValueError("group_idx must have one entry per incidence")
+        sel = np.arange(gi.size) if mask is None else np.nonzero(np.asarray(mask, dtype=bool))[0]
+        r, l = self.spec.repetitions, self.spec.levels
+        counts = np.zeros((n_groups, r, l), dtype=np.int64)
+        sums = np.zeros((n_groups, r, l), dtype=np.int64)
+        fps_lo = np.zeros((n_groups, r, l), dtype=np.int64)
+        fps_hi = np.zeros((n_groups, r, l), dtype=np.int64)
+        g_sel = gi[sel]
+        sign_sel = self.signs[sel]
+        slot_signed = self.slots[sel].astype(np.int64) * sign_sel
+        for rep in range(r):
+            d = self.depths[rep, sel]
+            # Incidence at depth d lives in levels 0..d; accumulate into the
+            # (group, depth) bin, then suffix-sum over the level axis below.
+            flat = (g_sel * np.int64(r) + rep) * np.int64(l) + d
+            np.add.at(counts.reshape(-1), flat, sign_sel)
+            np.add.at(sums.reshape(-1), flat, slot_signed)
+            f = self.fp_contrib[rep, sel].astype(np.int64)
+            np.add.at(fps_lo.reshape(-1), flat, (f & _LOW30) * sign_sel)
+            np.add.at(fps_hi.reshape(-1), flat, (f >> np.int64(30)) * sign_sel)
+        # Suffix-cumulative over levels: level l = sum over depths >= l.
+        counts = np.flip(np.cumsum(np.flip(counts, axis=2), axis=2), axis=2)
+        sums = np.flip(np.cumsum(np.flip(sums, axis=2), axis=2), axis=2)
+        fps_lo = np.flip(np.cumsum(np.flip(fps_lo, axis=2), axis=2), axis=2)
+        fps_hi = np.flip(np.cumsum(np.flip(fps_hi, axis=2), axis=2), axis=2)
+        return SketchBundle(self.spec, counts, sums, _combine_halves(fps_lo, fps_hi))
+
+
+def _power_table(base: np.ndarray | int, size: int) -> np.ndarray:
+    """``[base^0, base^1, ..., base^(size-1)] mod p`` by doubling.
+
+    O(size) field multiplications across O(log size) vectorized passes.
+    """
+    if size < 1:
+        return np.ones(1, dtype=np.uint64)
+    table = np.ones(1, dtype=np.uint64)
+    b = np.uint64(base)
+    step = np.uint64(b)  # base^(len(table)) at each doubling
+    while table.size < size:
+        ext = mulmod(table, step)
+        table = np.concatenate([table, ext])
+        step = mulmod(step, step)
+    return table[:size]

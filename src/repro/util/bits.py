@@ -1,0 +1,60 @@
+"""Bit-size bookkeeping for message accounting in the k-machine model.
+
+The paper measures complexity in *rounds*, where each of the k(k-1)/2 links
+carries O(polylog n) bits per round.  The simulator therefore needs a
+consistent model of how many bits each message occupies.  We charge the
+information-theoretic sizes below (IDs cost ceil(log2 n) bits, etc.), so
+that measured round counts are directly comparable to the paper's bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "bits_for_count",
+    "bits_for_id",
+    "ceil_div",
+    "ceil_log2",
+    "polylog_bandwidth",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def ceil_log2(x: int) -> int:
+    """``ceil(log2 x)`` for ``x >= 1`` (returns at least 1)."""
+    if x < 1:
+        raise ValueError(f"x must be >= 1, got {x}")
+    return max(1, math.ceil(math.log2(x))) if x > 1 else 1
+
+
+def bits_for_id(universe: int) -> int:
+    """Bits needed to name one element of a ``universe``-sized ID space."""
+    return ceil_log2(max(2, universe))
+
+
+def bits_for_count(maximum: int) -> int:
+    """Bits needed to transmit a count in ``[0, maximum]``."""
+    return ceil_log2(max(2, maximum + 1))
+
+
+def polylog_bandwidth(n: int, multiplier: int = 64) -> int:
+    """Default per-link bandwidth B(n) in bits per round.
+
+    The model grants each link O(polylog n) bits per round; we use
+    ``multiplier * ceil(log2 n)^2``, which comfortably fits one linear
+    sketch (O(log^2 n) bits, Lemma 2) plus headers in O(1) rounds.  The
+    multiplier is configurable so experiments can expose bandwidth
+    sensitivity; all paper bounds are invariant to it up to constants.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    return multiplier * ceil_log2(n) ** 2

@@ -1,0 +1,29 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+__all__ = ["check_index", "check_positive", "check_probability", "check_non_negative"]
+
+
+def check_positive(name: str, value: int | float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: int | float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_index(name: str, value: int, size: int) -> None:
+    """Raise ``IndexError`` unless ``0 <= value < size``."""
+    if not (0 <= value < size):
+        raise IndexError(f"{name} must be in [0, {size}), got {value!r}")

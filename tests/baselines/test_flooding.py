@@ -1,0 +1,62 @@
+"""Tests for the flooding baseline: correctness and Theta(n/k + D) shape."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.flooding import flooding_connectivity
+from repro.cluster.cluster import KMachineCluster
+from repro.core.labels import canonical_labels
+from repro.graphs import generators as gen
+from repro.graphs import reference as ref
+
+
+class TestCorrectness:
+    def test_matches_reference(self, small_connected_graph):
+        cl = KMachineCluster.create(small_connected_graph, k=4, seed=1)
+        res = flooding_connectivity(cl)
+        assert np.array_equal(
+            canonical_labels(res.labels), ref.connected_components(small_connected_graph)
+        )
+
+    def test_disconnected(self):
+        g = gen.planted_components(120, 4, seed=2)
+        cl = KMachineCluster.create(g, k=4, seed=2)
+        res = flooding_connectivity(cl)
+        assert res.n_components == 4
+
+    def test_cc_rounds_equals_diameter_bound(self):
+        g = gen.path_graph(50)
+        cl = KMachineCluster.create(g, k=4, seed=3)
+        res = flooding_connectivity(cl)
+        # Label 0 travels the whole path: exactly n-1 propagation rounds
+        # (+1 to detect quiescence).
+        assert 49 <= res.cc_rounds <= 51
+
+    def test_max_cc_rounds_cutoff(self):
+        g = gen.path_graph(100)
+        cl = KMachineCluster.create(g, k=4, seed=4)
+        res = flooding_connectivity(cl, max_cc_rounds=5)
+        assert res.cc_rounds == 5
+        assert res.n_components > 1  # not yet converged
+
+
+class TestShape:
+    def test_diameter_term_dominates_on_paths(self):
+        # Theta(n/k + D): on a path D = n-1, so doubling k barely helps.
+        g = gen.path_graph(400)
+        r = []
+        for k in (4, 16):
+            cl = KMachineCluster.create(g, k=k, seed=5)
+            r.append(flooding_connectivity(cl).rounds)
+        assert r[1] > 0.8 * r[0]  # nearly no speedup from 4x machines
+
+    def test_volume_term_on_low_diameter(self):
+        # On a low-diameter dense graph the n/k volume term shows: more
+        # machines reduce rounds.
+        g = gen.gnm_random(1000, 20_000, seed=6)
+        r = []
+        for k in (2, 8):
+            cl = KMachineCluster.create(g, k=k, seed=6)
+            r.append(flooding_connectivity(cl).rounds)
+        assert r[1] < r[0]

@@ -1,0 +1,51 @@
+"""Tests for the gather-at-referee baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.referee import referee_connectivity
+from repro.cluster.cluster import KMachineCluster
+from repro.core.labels import canonical_labels
+from repro.graphs import generators as gen
+from repro.graphs import reference as ref
+
+
+def test_exact_answer(small_disconnected_graph):
+    cl = KMachineCluster.create(small_disconnected_graph, k=4, seed=1)
+    res = referee_connectivity(cl)
+    assert res.n_components == 5
+    assert np.array_equal(
+        canonical_labels(res.labels), ref.connected_components(small_disconnected_graph)
+    )
+
+
+def test_rounds_scale_with_m_over_k():
+    n = 400
+    sparse = gen.gnm_random(n, 2 * n, seed=2)
+    dense = gen.gnm_random(n, 40 * n, seed=2)
+    r = []
+    for g in (sparse, dense):
+        cl = KMachineCluster.create(g, k=4, seed=2)
+        r.append(referee_connectivity(cl).rounds)
+    assert r[1] > 5 * r[0]  # ~20x more edges -> proportionally more rounds
+
+
+def test_more_machines_help_linearly():
+    g = gen.gnm_random(500, 10_000, seed=3)
+    r = []
+    for k in (2, 8):
+        cl = KMachineCluster.create(g, k=k, seed=3)
+        r.append(referee_connectivity(cl).rounds)
+    # Referee receives over k-1 links: 4x machines ~ several-x fewer rounds,
+    # but never better than linear-in-k.
+    assert 2 < r[0] / r[1] < 12
+
+
+def test_referee_receives_everything():
+    g = gen.gnm_random(200, 800, seed=4)
+    cl = KMachineCluster.create(g, k=4, seed=4)
+    referee_connectivity(cl, referee=2)
+    # All traffic converges on machine 2 (minus its own local edges).
+    assert cl.ledger.received_bits[2] > 0
+    assert cl.ledger.received_bits[0] == 0

@@ -1,0 +1,40 @@
+"""Tests for the REP-model algorithms (Section 1.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.rep import rep_connectivity, rep_mst
+from repro.graphs import generators as gen
+from repro.graphs import reference as ref
+
+
+class TestREPConnectivity:
+    def test_component_count(self):
+        g = gen.planted_components(150, 4, seed=1)
+        res = rep_connectivity(g, k=4, seed=1)
+        assert res.n_components == 4
+
+    def test_filter_keeps_at_most_forest_per_machine(self):
+        g = gen.gnm_random(200, 3000, seed=2)
+        res = rep_connectivity(g, k=4, seed=2)
+        # Each machine keeps <= n-1 edges: total <= k(n-1).
+        assert res.filtered_edges <= 4 * 199
+        assert res.filtered_edges < g.m
+
+
+class TestREPMST:
+    def test_weight_matches_kruskal(self):
+        g = gen.with_unique_weights(gen.gnm_random(150, 600, seed=3), seed=3)
+        res = rep_mst(g, k=4, seed=3)
+        assert res.total_weight == pytest.approx(ref.mst_weight(g, ref.kruskal_mst(g)))
+
+    def test_rejects_unweighted(self):
+        with pytest.raises(ValueError, match="weighted"):
+            rep_mst(gen.gnm_random(50, 100, seed=4), k=4, seed=4)
+
+    def test_reroute_charged(self):
+        g = gen.with_unique_weights(gen.gnm_random(150, 600, seed=5), seed=5)
+        res = rep_mst(g, k=4, seed=5)
+        assert res.reroute_rounds >= 1
+        assert res.rounds >= res.reroute_rounds

@@ -1,0 +1,85 @@
+"""Tests for the KMachineCluster façade: incidence arrays, derived clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.partition import VertexPartition
+from repro.graphs import generators as gen
+
+
+class TestCreate:
+    def test_incidence_arrays_shape(self, small_connected_graph):
+        cl = KMachineCluster.create(small_connected_graph, k=4, seed=1)
+        assert cl.n_incidences == 2 * cl.m
+        assert cl.inc_owner.size == cl.inc_other.size == cl.inc_slot.size
+
+    def test_incidence_machine_matches_partition(self, small_connected_graph):
+        cl = KMachineCluster.create(small_connected_graph, k=4, seed=1)
+        assert np.array_equal(cl.inc_machine, cl.partition.home[cl.inc_owner])
+
+    def test_every_edge_twice(self, small_connected_graph):
+        cl = KMachineCluster.create(small_connected_graph, k=4, seed=1)
+        counts = np.bincount(cl.inc_edge, minlength=cl.m)
+        assert np.all(counts == 2)
+
+    def test_signs_cancel_per_edge(self, small_connected_graph):
+        cl = KMachineCluster.create(small_connected_graph, k=4, seed=1)
+        sums = np.zeros(cl.m, dtype=np.int64)
+        np.add.at(sums, cl.inc_edge, cl.inc_sign)
+        assert np.all(sums == 0)
+
+    def test_partition_mismatch_rejected(self, small_connected_graph):
+        p = VertexPartition(k=3, home=np.zeros(5, dtype=np.int64), seed=0)
+        with pytest.raises(ValueError):
+            KMachineCluster.create(small_connected_graph, k=3, seed=1, partition=p)
+
+    def test_inc_weight_view(self, small_weighted_graph):
+        cl = KMachineCluster.create(small_weighted_graph, k=4, seed=2)
+        assert np.array_equal(cl.inc_weight, small_weighted_graph.weights[cl.inc_edge])
+
+
+class TestDerived:
+    def test_with_graph_same_partition_topology(self, small_connected_graph):
+        cl = KMachineCluster.create(small_connected_graph, k=4, seed=1)
+        sub = cl.with_graph(small_connected_graph.subgraph(np.zeros(cl.m, dtype=bool)))
+        assert sub.partition is cl.partition
+        assert sub.topology is cl.topology
+        assert sub.m == 0
+
+    def test_with_graph_rejects_different_n(self, small_connected_graph):
+        cl = KMachineCluster.create(small_connected_graph, k=4, seed=1)
+        with pytest.raises(ValueError):
+            cl.with_graph(gen.path_graph(cl.n + 1))
+
+    def test_fork_and_reset_ledger(self, cluster8):
+        forked = cluster8.fork_ledger()
+        assert forked.total_rounds == 0
+        cluster8.ledger.charge_rounds("x", 5)
+        cluster8.reset_ledger()
+        assert cluster8.ledger.total_rounds == 0
+
+    def test_explicit_topology(self, small_connected_graph):
+        from repro.cluster.topology import ClusterTopology
+
+        topo = ClusterTopology(k=4, bandwidth_bits=12345)
+        cl = KMachineCluster.create(small_connected_graph, k=4, seed=1, topology=topo)
+        assert cl.topology.bandwidth_bits == 12345
+
+    def test_topology_k_mismatch(self, small_connected_graph):
+        from repro.cluster.topology import ClusterTopology
+
+        with pytest.raises(ValueError):
+            KMachineCluster.create(
+                small_connected_graph,
+                k=4,
+                seed=1,
+                topology=ClusterTopology(k=8, bandwidth_bits=100),
+            )
+
+    def test_load_summary(self, cluster8):
+        s = cluster8.machine_load_summary()
+        assert s["vertices_mean"] == pytest.approx(cluster8.n / cluster8.k)
+        assert s["incidences_max"] >= s["incidences_mean"]

@@ -1,0 +1,84 @@
+"""Tests for bulk communication steps and dissemination primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import CommStep, broadcast_from_machine, disseminate_from_machine
+from repro.cluster.ledger import RoundLedger
+from repro.cluster.topology import ClusterTopology
+
+
+def ledger(k=4, bw=100) -> RoundLedger:
+    return RoundLedger(ClusterTopology(k=k, bandwidth_bits=bw))
+
+
+class TestCommStep:
+    def test_vectorized_add_and_deliver(self):
+        led = ledger()
+        step = CommStep(led, "s")
+        step.add(np.array([0, 0, 1]), np.array([1, 2, 3]), np.array([150, 20, 99]))
+        assert step.deliver() == 2  # ceil(150/100)
+        assert led.total_bits == 269
+
+    def test_scalar_broadcasting(self):
+        led = ledger()
+        step = CommStep(led, "s")
+        step.add(0, np.array([1, 2, 3]), 10)
+        step.deliver()
+        assert led.sent_bits[0] == 30
+
+    def test_double_deliver_rejected(self):
+        step = CommStep(ledger(), "s")
+        step.deliver()
+        with pytest.raises(RuntimeError):
+            step.deliver()
+
+    def test_add_after_deliver_rejected(self):
+        step = CommStep(ledger(), "s")
+        step.deliver()
+        with pytest.raises(RuntimeError):
+            step.add(0, 1, 10)
+
+    def test_out_of_range_machines(self):
+        step = CommStep(ledger(k=2), "s")
+        with pytest.raises(ValueError):
+            step.add(0, 5, 10)
+
+    def test_negative_bits(self):
+        step = CommStep(ledger(), "s")
+        with pytest.raises(ValueError):
+            step.add(0, 1, -1)
+
+    def test_add_grouped(self):
+        led = ledger()
+        step = CommStep(led, "s")
+        step.add_grouped(np.array([[0, 1], [2, 3]]), 42)
+        step.deliver()
+        assert led.total_bits == 84
+
+    def test_empty_step_zero_rounds(self):
+        assert CommStep(ledger(), "s").deliver() == 0
+
+
+class TestBroadcast:
+    def test_naive_broadcast_rounds(self):
+        led = ledger(k=5, bw=100)
+        rounds = broadcast_from_machine(led, "b", 0, 250)
+        assert rounds == 3  # ceil(250/100) to each of 4 peers in parallel
+
+    def test_dissemination_beats_naive_for_large_payloads(self):
+        # The 2-round relay spreads the payload over k-1 links.
+        k, bw, bits = 9, 100, 100_000
+        naive = broadcast_from_machine(ledger(k, bw), "b", 0, bits)
+        relay = disseminate_from_machine(ledger(k, bw), "d", 0, bits)
+        assert relay < naive
+        # Relay is ~2/(k-1) of naive.
+        assert relay <= 2 * (naive // (k - 1)) + 4
+
+    def test_dissemination_all_machines_receive(self):
+        led = ledger(k=4, bw=1000)
+        disseminate_from_machine(led, "d", 0, 900)
+        # Every machine other than the source received bits.
+        assert all(led.received_bits[m] > 0 for m in range(1, 4))

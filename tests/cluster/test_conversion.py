@@ -1,0 +1,60 @@
+"""Tests for the Conversion Theorem cost model and trace replay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.conversion import (
+    CongestedCliqueTrace,
+    conversion_bound,
+    replay_trace,
+)
+from repro.graphs import generators as gen
+
+
+class TestClosedForm:
+    def test_volume_term_scales_inverse_k_squared(self):
+        a = conversion_bound(10**6, 10, 1, k=4, message_bits=32, bandwidth_bits=1000)
+        b = conversion_bound(10**6, 10, 1, k=16, message_bits=32, bandwidth_bits=1000)
+        assert a > 10 * b
+
+    def test_degree_term_scales_inverse_k(self):
+        # Delta'-dominated regime: doubling k roughly halves the bound.
+        a = conversion_bound(10, 100, 10**4, k=8, message_bits=32, bandwidth_bits=100)
+        b = conversion_bound(10, 100, 10**4, k=16, message_bits=32, bandwidth_bits=100)
+        assert a > 1.7 * b
+
+    def test_at_least_original_rounds(self):
+        assert conversion_bound(0, 42, 0, k=4, message_bits=1, bandwidth_bits=100) >= 42
+
+
+class TestTrace:
+    def test_statistics(self):
+        t = CongestedCliqueTrace()
+        t.record_round(np.array([0, 1, 2]), np.array([3, 3, 3]), 8)
+        t.record_round(np.array([3]), np.array([0]), 8)
+        assert t.message_complexity == 4
+        assert t.round_complexity == 2
+        assert t.max_delta_prime() == 3  # vertex 3 received 3 messages in round 0
+
+    def test_replay_charges_ledger(self):
+        g = gen.gnm_random(60, 150, seed=1)
+        cl = KMachineCluster.create(g, k=4, seed=1)
+        t = CongestedCliqueTrace()
+        t.record_round(g.edges_u, g.edges_v, 16)
+        rounds = replay_trace(cl, t)
+        assert rounds >= 1
+        assert cl.ledger.total_rounds == rounds
+
+    def test_replay_intra_machine_round_still_costs_one(self):
+        g = gen.path_graph(10)
+        home = np.zeros(10, dtype=np.int64)  # everything on machine 0
+        from repro.cluster.partition import VertexPartition
+
+        cl = KMachineCluster.create(
+            g, k=2, seed=1, partition=VertexPartition(k=2, home=home, seed=0)
+        )
+        t = CongestedCliqueTrace()
+        t.record_round(g.edges_u, g.edges_v, 16)
+        assert replay_trace(cl, t) == 1  # sync round even with zero cross traffic

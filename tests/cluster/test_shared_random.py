@@ -1,0 +1,56 @@
+"""Tests for shared-randomness distribution accounting and seed derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.ledger import RoundLedger
+from repro.cluster.shared_random import SharedRandomness
+from repro.cluster.topology import ClusterTopology
+
+
+def test_phase_bits_scale_like_n_over_k():
+    a = SharedRandomness(master_seed=1, n=10_000, k=10)
+    b = SharedRandomness(master_seed=1, n=10_000, k=100)
+    assert a.phase_bits() > b.phase_bits()
+    assert a.phase_bits() >= (10_000 // 10)
+
+
+def test_phase_distribution_scales_inverse_k_squared():
+    # Theta~(n/k) bits over a relay -> O~(n/k^2) rounds: quadrupling k
+    # should cut the rounds by roughly 8x (k in bits and k in links).
+    n = 1 << 16
+    r_small = RoundLedger(ClusterTopology.for_problem(4, n))
+    r_large = RoundLedger(ClusterTopology.for_problem(16, n))
+    SharedRandomness(1, n, 4).charge_phase_distribution(r_small, 1)
+    SharedRandomness(1, n, 16).charge_phase_distribution(r_large, 1)
+    assert r_small.total_rounds > 4 * r_large.total_rounds
+
+
+def test_sketch_seed_distribution_constant_rounds():
+    n = 1 << 14
+    led = RoundLedger(ClusterTopology.for_problem(8, n))
+    rounds = SharedRandomness(1, n, 8).charge_sketch_seed_distribution(led, 1)
+    assert rounds <= 4  # Theta(log^2 n) bits -> O(1) rounds
+
+
+def test_streams_deterministic_and_phase_sensitive():
+    sr = SharedRandomness(master_seed=5, n=100, k=4)
+    a = sr.proxy_stream(1, 2).keyed_u64(np.arange(10, dtype=np.uint64))
+    b = sr.proxy_stream(1, 2).keyed_u64(np.arange(10, dtype=np.uint64))
+    c = sr.proxy_stream(1, 3).keyed_u64(np.arange(10, dtype=np.uint64))
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_sketch_seed_distinct_per_phase():
+    sr = SharedRandomness(master_seed=5, n=100, k=4)
+    assert sr.sketch_seed(1) != sr.sketch_seed(2)
+
+
+def test_rank_stream_differs_from_proxy_stream():
+    sr = SharedRandomness(master_seed=5, n=100, k=4)
+    keys = np.arange(8, dtype=np.uint64)
+    assert not np.array_equal(
+        sr.rank_stream(1).keyed_u64(keys), sr.proxy_stream(1, 0).keyed_u64(keys)
+    )

@@ -1,0 +1,152 @@
+"""Tests for DRR forests: structure, depth (Lemma 6), merging (Lemma 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.shared_random import SharedRandomness
+from repro.core.drr import build_drr_forest, merge_forest
+from repro.core.labels import PartIndex, initial_labels
+from repro.core.outgoing import OutgoingSelection
+from repro.graphs import generators as gen
+from repro.util.rng import SeedStream
+
+
+def ring_selection(n, k=4, seed=1):
+    """Every singleton component i samples the edge to (i+1) mod n."""
+    g = gen.cycle_graph(n)
+    cl = KMachineCluster.create(g, k=k, seed=seed)
+    labels = initial_labels(n)
+    parts = PartIndex.build(labels, cl.partition)
+    c = parts.n_components
+    nxt = (parts.comp_labels + 1) % n
+    sel = OutgoingSelection(
+        parts=parts,
+        comp_proxy=np.zeros(c, dtype=np.int64),
+        sketch_nonzero=np.ones(c, dtype=bool),
+        found=np.ones(c, dtype=bool),
+        slot=np.zeros(c, dtype=np.int64),
+        internal_vertex=parts.comp_labels.copy(),
+        foreign_vertex=nxt.copy(),
+        neighbor_label=nxt.copy(),
+        edge_weight=np.full(c, np.nan),
+    )
+    return cl, labels, parts, sel
+
+
+class TestForestStructure:
+    def test_parents_have_higher_rank(self):
+        cl, labels, parts, sel = ring_selection(64)
+        forest = build_drr_forest(parts, sel, SeedStream(7))
+        for ci in range(forest.n_components):
+            p = forest.parent[ci]
+            if p >= 0:
+                assert forest.ranks[p] > forest.ranks[ci] or (
+                    forest.ranks[p] == forest.ranks[ci]
+                    and forest.comp_labels[p] > forest.comp_labels[ci]
+                )
+
+    def test_acyclic_and_rooted(self):
+        cl, labels, parts, sel = ring_selection(128)
+        forest = build_drr_forest(parts, sel, SeedStream(8))
+        roots = np.nonzero(forest.parent < 0)[0]
+        assert roots.size >= 1
+        # Follow parents: must reach a root within C hops (no cycles).
+        for ci in range(forest.n_components):
+            cur, hops = ci, 0
+            while forest.parent[cur] >= 0:
+                cur = int(forest.parent[cur])
+                hops += 1
+                assert hops <= forest.n_components
+            assert cur in roots
+
+    def test_depth_consistent_with_parents(self):
+        cl, labels, parts, sel = ring_selection(100)
+        forest = build_drr_forest(parts, sel, SeedStream(9))
+        for ci in range(forest.n_components):
+            p = forest.parent[ci]
+            if p >= 0:
+                assert forest.depth[ci] == forest.depth[p] + 1
+            else:
+                assert forest.depth[ci] == 0
+
+    def test_no_edges_all_roots(self):
+        cl, labels, parts, _ = ring_selection(10)
+        c = parts.n_components
+        sel = OutgoingSelection(
+            parts=parts,
+            comp_proxy=np.zeros(c, dtype=np.int64),
+            sketch_nonzero=np.zeros(c, dtype=bool),
+            found=np.zeros(c, dtype=bool),
+            slot=np.full(c, -1, dtype=np.int64),
+            internal_vertex=np.full(c, -1, dtype=np.int64),
+            foreign_vertex=np.full(c, -1, dtype=np.int64),
+            neighbor_label=np.full(c, -1, dtype=np.int64),
+            edge_weight=np.full(c, np.nan),
+        )
+        forest = build_drr_forest(parts, sel, SeedStream(10))
+        assert (forest.parent < 0).all()
+        assert forest.max_depth == 0
+
+
+class TestLemma6Depth:
+    def test_depth_logarithmic(self):
+        # Lemma 6: DRR depth is O(log n) w.h.p.; check over several seeds
+        # at n = 1024: depth must stay well below sqrt(n) and scale ~ log n.
+        n = 1024
+        worst = 0
+        for seed in range(10):
+            cl, labels, parts, sel = ring_selection(n, seed=seed)
+            forest = build_drr_forest(parts, sel, SeedStream(100 + seed))
+            worst = max(worst, forest.max_depth)
+        assert worst <= 6 * np.log(n + 1)  # the Lemma-6/appendix constant
+
+    def test_expected_depth_close_to_ln_n(self):
+        # Appendix: E[path length] <= log(n+1); average over seeds.
+        n = 512
+        depths = []
+        for seed in range(20):
+            cl, labels, parts, sel = ring_selection(n, seed=seed)
+            forest = build_drr_forest(parts, sel, SeedStream(200 + seed))
+            depths.append(forest.max_depth)
+        assert np.mean(depths) <= 3.0 * np.log(n + 1)
+
+
+class TestMerging:
+    def test_merge_reaches_roots(self):
+        cl, labels, parts, sel = ring_selection(60)
+        shared = SharedRandomness(master_seed=3, n=60, k=cl.k)
+        forest = build_drr_forest(parts, sel, SeedStream(11))
+        out = merge_forest(cl, shared, labels, forest, phase=1)
+        # After merging, every vertex carries the label of its tree root.
+        roots = np.nonzero(forest.parent < 0)[0]
+        root_labels = set(forest.comp_labels[roots].tolist())
+        assert set(np.unique(out.labels).tolist()) <= root_labels
+        assert out.iterations == forest.max_depth
+
+    def test_merge_preserves_component_membership(self):
+        # Vertices in the same tree end with the same label.
+        cl, labels, parts, sel = ring_selection(40)
+        shared = SharedRandomness(master_seed=4, n=40, k=cl.k)
+        forest = build_drr_forest(parts, sel, SeedStream(12))
+        out = merge_forest(cl, shared, labels, forest, phase=1)
+
+        def root_of(ci):
+            while forest.parent[ci] >= 0:
+                ci = int(forest.parent[ci])
+            return ci
+
+        for v in range(40):
+            ci = int(np.searchsorted(forest.comp_labels, labels[v]))
+            assert out.labels[v] == forest.comp_labels[root_of(ci)]
+
+    def test_merge_charges_rounds(self):
+        cl, labels, parts, sel = ring_selection(80)
+        shared = SharedRandomness(master_seed=5, n=80, k=cl.k)
+        forest = build_drr_forest(parts, sel, SeedStream(13))
+        before = cl.ledger.total_rounds
+        out = merge_forest(cl, shared, labels, forest, phase=1)
+        if forest.max_depth > 0:
+            assert cl.ledger.total_rounds > before
+            assert out.rounds == cl.ledger.total_rounds - before

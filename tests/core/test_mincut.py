@@ -1,0 +1,71 @@
+"""Tests for the Theorem-3 approximate min-cut algorithm."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import KMachineCluster
+from repro.core.mincut import mincut_approx_distributed
+from repro.graphs import generators as gen
+from repro.graphs import reference as ref
+
+
+def run(g, k=8, seed=3, **kw):
+    cl = KMachineCluster.create(g, k=k, seed=seed)
+    return cl, mincut_approx_distributed(cl, seed=seed, **kw)
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("cut", [2, 4, 8])
+    def test_within_logn_factor(self, cut):
+        g = gen.planted_cut_graph(200, cut_size=cut, inner_degree=16, seed=cut)
+        true_cut = ref.stoer_wagner_mincut(g)
+        assert true_cut <= float(cut)  # planted cut is an upper bound
+        _, res = run(g, seed=cut)
+        factor = math.log(g.n) ** 1.5  # generous O(log n) envelope
+        assert res.estimate <= true_cut * factor
+        assert res.estimate >= true_cut / factor
+
+    def test_disconnected_input_estimate_zero(self):
+        g = gen.planted_components(100, 2, seed=1)
+        _, res = run(g, seed=1)
+        assert res.estimate == 0.0
+        assert res.disconnect_level == 0
+
+    def test_dense_graph_larger_estimate_than_sparse(self):
+        sparse = gen.planted_cut_graph(160, cut_size=2, inner_degree=12, seed=2)
+        dense = gen.complete_graph(80)
+        _, rs = run(sparse, seed=2)
+        _, rd = run(dense, seed=2)
+        assert rd.estimate > rs.estimate
+
+
+class TestMechanics:
+    def test_levels_recorded_and_monotone(self):
+        g = gen.planted_cut_graph(120, cut_size=3, inner_degree=10, seed=4)
+        _, res = run(g, seed=4)
+        assert len(res.levels) == res.disconnect_level + 1
+        kept = [lv.edges_kept for lv in res.levels]
+        assert all(a >= b for a, b in zip(kept, kept[1:]))
+        assert res.levels[-1].n_components > 1
+
+    def test_rounds_accumulated(self):
+        g = gen.planted_cut_graph(120, cut_size=3, inner_degree=10, seed=5)
+        cl, res = run(g, seed=5)
+        assert res.rounds == cl.ledger.total_rounds
+        assert res.rounds >= sum(lv.rounds for lv in res.levels)
+
+    def test_max_levels_budget(self):
+        g = gen.complete_graph(60)
+        _, res = run(g, seed=6, max_levels=2)
+        assert len(res.levels) <= 2
+
+    def test_deterministic(self):
+        g = gen.planted_cut_graph(100, cut_size=2, inner_degree=10, seed=7)
+        _, a = run(g, seed=7)
+        _, b = run(g, seed=7)
+        assert a.estimate == b.estimate
+        assert a.disconnect_level == b.disconnect_level

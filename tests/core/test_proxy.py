@@ -1,0 +1,57 @@
+"""Tests for randomized proxy computation (Lemma 1 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import KMachineCluster
+from repro.core.proxy import parts_to_proxies, proxies_to_parts, proxy_of_labels
+from repro.graphs import generators as gen
+from repro.util.rng import SeedStream
+
+
+class TestProxySelection:
+    def test_same_label_same_proxy(self):
+        s = SeedStream(1)
+        labels = np.array([5, 5, 9, 9, 5], dtype=np.int64)
+        p = proxy_of_labels(s, labels, 8)
+        assert p[0] == p[1] == p[4]
+        assert p[2] == p[3]
+
+    def test_uniform_over_machines(self):
+        s = SeedStream(2)
+        p = proxy_of_labels(s, np.arange(80_000, dtype=np.int64), 8)
+        counts = np.bincount(p, minlength=8)
+        assert counts.min() > 80_000 / 8 * 0.9
+
+    def test_different_iterations_differ(self):
+        labels = np.arange(1000, dtype=np.int64)
+        a = proxy_of_labels(SeedStream(10), labels, 8)
+        b = proxy_of_labels(SeedStream(11), labels, 8)
+        assert not np.array_equal(a, b)
+
+
+class TestProxyTraffic:
+    def test_round_trip_costs_match(self):
+        g = gen.gnm_random(400, 1200, seed=1)
+        cl = KMachineCluster.create(g, k=8, seed=1)
+        part_machine = np.arange(400, dtype=np.int64) % 8
+        proxies = proxy_of_labels(SeedStream(3), np.arange(400, dtype=np.int64), 8)
+        r1 = parts_to_proxies(cl, "up", part_machine, proxies, 100)
+        r2 = proxies_to_parts(cl, "down", part_machine, proxies, 100)
+        # The reply re-runs the schedule in reverse: identical cost.
+        assert r1 == r2
+
+    def test_lemma1_balance(self):
+        # With Theta(n/k) parts per machine and random proxies, the max link
+        # load concentrates near the mean: measured skew must be small.
+        n, k = 20_000, 10
+        g = gen.gnm_random(64, 96, seed=0)  # graph content irrelevant here
+        cl = KMachineCluster.create(g, k=k, seed=0)
+        part_machine = np.arange(n, dtype=np.int64) % k
+        proxies = proxy_of_labels(SeedStream(4), np.arange(n, dtype=np.int64), k)
+        parts_to_proxies(cl, "lemma1", part_machine, proxies, 64)
+        load = cl.ledger.load_total
+        off = load[~np.eye(k, dtype=bool)]
+        mean = off.mean()
+        assert off.max() < 1.6 * mean  # w.h.p. concentration

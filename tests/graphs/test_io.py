@@ -1,0 +1,44 @@
+"""Tests for repro.graphs.io round-tripping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.io import load_edgelist, save_edgelist
+
+
+def test_roundtrip_unweighted(tmp_path):
+    g = gen.gnm_random(30, 80, seed=1)
+    p = tmp_path / "g.edges"
+    save_edgelist(g, p)
+    g2 = load_edgelist(p)
+    assert g2.n == g.n and g2.m == g.m
+    assert np.array_equal(g2.edges_u, g.edges_u)
+    assert np.array_equal(g2.edges_v, g.edges_v)
+    assert not g2.weighted
+
+
+def test_roundtrip_weighted(tmp_path):
+    g = gen.with_unique_weights(gen.gnm_random(20, 50, seed=2), seed=2)
+    p = tmp_path / "g.edges"
+    save_edgelist(g, p)
+    g2 = load_edgelist(p)
+    assert g2.weighted
+    assert np.allclose(g2.weights, g.weights)
+
+
+def test_roundtrip_empty(tmp_path):
+    g = gen.disjoint_union([gen.path_graph(1), gen.path_graph(1)])
+    p = tmp_path / "empty.edges"
+    save_edgelist(g, p)
+    g2 = load_edgelist(p)
+    assert g2.n == 2 and g2.m == 0
+
+
+def test_bad_header(tmp_path):
+    p = tmp_path / "bad.edges"
+    p.write_text("not a header\n")
+    with pytest.raises(ValueError):
+        load_edgelist(p)

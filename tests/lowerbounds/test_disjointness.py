@@ -1,0 +1,53 @@
+"""Tests for random-partition set disjointness instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.disjointness import (
+    is_disjoint,
+    make_instance,
+    trivial_protocol_bits,
+)
+
+
+class TestInstances:
+    def test_forced_disjoint(self):
+        for seed in range(10):
+            inst = make_instance(50, seed=seed, intersecting=False)
+            assert is_disjoint(inst.x, inst.y)
+
+    def test_forced_intersecting(self):
+        for seed in range(10):
+            inst = make_instance(50, seed=seed, intersecting=True)
+            assert not is_disjoint(inst.x, inst.y)
+
+    def test_random_instances_bits_valid(self):
+        inst = make_instance(100, seed=1)
+        assert set(np.unique(inst.x)).issubset({0, 1})
+        assert set(np.unique(inst.y)).issubset({0, 1})
+        assert inst.b == 100
+
+    def test_revelation_masks_half(self):
+        inst = make_instance(10_000, seed=2)
+        assert 0.45 < inst.y_known_to_alice.mean() < 0.55
+        assert 0.45 < inst.x_known_to_bob.mean() < 0.55
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_instance(0)
+
+
+class TestIsDisjoint:
+    def test_cases(self):
+        assert is_disjoint(np.array([1, 0]), np.array([0, 1]))
+        assert not is_disjoint(np.array([1, 0]), np.array([1, 0]))
+        assert is_disjoint(np.zeros(5, dtype=int), np.zeros(5, dtype=int))
+
+
+class TestTrivialProtocol:
+    def test_cost_near_half_b(self):
+        inst = make_instance(10_000, seed=3)
+        cost = trivial_protocol_bits(inst)
+        assert 0.4 * 10_000 < cost < 0.6 * 10_000

@@ -1,0 +1,69 @@
+"""Tests for the Theorem-5 SCS reduction and 2-party simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.disjointness import make_instance
+from repro.lowerbounds.scs_instance import build_scs_instance
+from repro.lowerbounds.simulation import simulate_scs_protocol
+
+
+class TestInstanceConstruction:
+    def test_machine_split(self):
+        inst = make_instance(20, seed=1)
+        scs = build_scs_instance(inst, k=8, seed=1)
+        assert scs.alice_machines.tolist() == [0, 1, 2, 3]
+        assert scs.bob_machines.tolist() == [4, 5, 6, 7]
+        assert scs.partition.home.min() >= 0
+        assert scs.partition.home.max() < 8
+
+    def test_s_on_bob_t_on_alice(self):
+        inst = make_instance(20, seed=2)
+        scs = build_scs_instance(inst, k=8, seed=2)
+        assert scs.partition.home[0] in scs.bob_machines  # s
+        assert scs.partition.home[1] in scs.alice_machines  # t
+
+    def test_expected_answer_tracks_disjointness(self):
+        for seed in range(6):
+            inst = make_instance(15, seed=seed, intersecting=bool(seed % 2))
+            scs = build_scs_instance(inst, k=4, seed=seed)
+            assert scs.expected_answer == (not bool(seed % 2))
+
+    def test_rejects_odd_or_tiny_k(self):
+        inst = make_instance(10, seed=3)
+        with pytest.raises(ValueError):
+            build_scs_instance(inst, k=5, seed=3)
+        with pytest.raises(ValueError):
+            build_scs_instance(inst, k=2, seed=3)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("intersecting", [False, True])
+    def test_protocol_correct(self, intersecting):
+        out = simulate_scs_protocol(b=60, k=8, seed=4, intersecting=intersecting)
+        assert out.correct
+        assert out.answer == (not intersecting)
+
+    def test_simulation_inequality(self):
+        # cut_bits <= rounds * (k^2/4) * 2B: the inequality that turns a
+        # round lower bound into a communication lower bound.
+        out = simulate_scs_protocol(b=80, k=8, seed=5, intersecting=False)
+        assert 0 < out.cut_bits <= out.cut_capacity_bits
+
+    def test_cut_bits_grow_with_b(self):
+        # Lemma 8 says Omega(b) bits must cross the cut: measured traffic
+        # must grow as the instance grows.
+        bits = []
+        for b in (40, 160, 640):
+            out = simulate_scs_protocol(b=b, k=8, seed=6, intersecting=False)
+            bits.append(out.cut_bits)
+        assert bits[0] < bits[1] < bits[2]
+        assert bits[2] > 4 * bits[0]
+
+    def test_explicit_instance_passthrough(self):
+        inst = make_instance(30, seed=7, intersecting=True)
+        out = simulate_scs_protocol(b=30, k=4, seed=7, instance=inst)
+        assert out.b == 30
+        assert not out.answer

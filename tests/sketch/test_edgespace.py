@@ -1,0 +1,77 @@
+"""Tests for the edge-slot encoding and sign convention."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.edgespace import (
+    decode_slot,
+    encode_slot,
+    incident_slots_and_signs,
+    max_slot_bits,
+)
+
+
+class TestSlotCodec:
+    def test_roundtrip(self):
+        n = 50
+        u = np.array([0, 3, 10, 48])
+        v = np.array([1, 40, 11, 49])
+        slots = encode_slot(n, u, v)
+        lo, hi = decode_slot(n, slots)
+        assert np.array_equal(lo, u)
+        assert np.array_equal(hi, v)
+
+    def test_canonicalizes_order(self):
+        n = 10
+        assert encode_slot(n, np.array([7]), np.array([2]))[0] == encode_slot(
+            n, np.array([2]), np.array([7])
+        )[0]
+
+    def test_injective(self):
+        n = 20
+        us, vs = np.triu_indices(n, k=1)
+        slots = encode_slot(n, us.astype(np.int64), vs.astype(np.int64))
+        assert np.unique(slots).size == slots.size
+
+    @given(
+        n=st.integers(min_value=2, max_value=1000),
+        u=st.integers(min_value=0, max_value=999),
+        v=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=100)
+    def test_property_roundtrip(self, n, u, v):
+        u, v = u % n, v % n
+        if u == v:
+            return
+        s = encode_slot(n, np.array([u]), np.array([v]))
+        lo, hi = decode_slot(n, s)
+        assert int(lo[0]) == min(u, v)
+        assert int(hi[0]) == max(u, v)
+
+
+class TestSigns:
+    def test_smaller_endpoint_positive(self):
+        slots, signs = incident_slots_and_signs(10, np.array([2, 7]), np.array([7, 2]))
+        assert signs[0] == 1  # owner 2 < other 7
+        assert signs[1] == -1  # owner 7 > other 2
+        assert slots[0] == slots[1]  # same canonical slot
+
+    def test_pairwise_cancellation(self):
+        # The incidence-vector foundation: both endpoints of an edge
+        # contribute the same slot with opposite signs.
+        n = 30
+        rng = np.random.default_rng(1)
+        u = rng.integers(0, n, 50)
+        v = (u + 1 + rng.integers(0, n - 1, 50)) % n
+        s1, g1 = incident_slots_and_signs(n, u, v)
+        s2, g2 = incident_slots_and_signs(n, v, u)
+        assert np.array_equal(s1, s2)
+        assert np.all(g1 + g2 == 0)
+
+
+def test_max_slot_bits_covers_universe():
+    for n in (2, 3, 100, 4096):
+        assert 2 ** max_slot_bits(n) > n * n - 1

@@ -1,0 +1,110 @@
+"""Tests for F_{2^61-1} arithmetic: exactness against Python bigints."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.field import MERSENNE_P, addmod, mulmod, poly_eval, powmod, submod
+
+felem = st.integers(min_value=0, max_value=MERSENNE_P - 1)
+
+
+class TestMulMod:
+    def test_edge_values(self):
+        cases = [
+            (0, 0),
+            (1, MERSENNE_P - 1),
+            (MERSENNE_P - 1, MERSENNE_P - 1),
+            (2**32, 2**32),
+            (2**60, 2**60),
+            (123456789, 987654321),
+        ]
+        a = np.array([c[0] for c in cases], dtype=np.uint64)
+        b = np.array([c[1] for c in cases], dtype=np.uint64)
+        got = mulmod(a, b)
+        for (x, y), g in zip(cases, got):
+            assert int(g) == (x * y) % MERSENNE_P
+
+    @given(felem, felem)
+    @settings(max_examples=200)
+    def test_matches_bigint(self, a, b):
+        assert int(mulmod(np.uint64(a), np.uint64(b))) == (a * b) % MERSENNE_P
+
+    @given(felem, felem, felem)
+    @settings(max_examples=50)
+    def test_associative(self, a, b, c):
+        lhs = mulmod(mulmod(np.uint64(a), np.uint64(b)), np.uint64(c))
+        rhs = mulmod(np.uint64(a), mulmod(np.uint64(b), np.uint64(c)))
+        assert int(lhs) == int(rhs)
+
+    def test_vectorized_shape(self):
+        a = np.arange(1000, dtype=np.uint64)
+        out = mulmod(a, a)
+        assert out.shape == a.shape
+
+
+class TestAddSubMod:
+    @given(felem, felem)
+    @settings(max_examples=100)
+    def test_add_matches_bigint(self, a, b):
+        assert int(addmod(np.uint64(a), np.uint64(b))) == (a + b) % MERSENNE_P
+
+    @given(felem, felem)
+    @settings(max_examples=100)
+    def test_sub_matches_bigint(self, a, b):
+        assert int(submod(np.uint64(a), np.uint64(b))) == (a - b) % MERSENNE_P
+
+    @given(felem, felem)
+    @settings(max_examples=50)
+    def test_sub_inverts_add(self, a, b):
+        s = addmod(np.uint64(a), np.uint64(b))
+        assert int(submod(s, np.uint64(b))) == a
+
+
+class TestPowMod:
+    @given(felem, st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=100)
+    def test_matches_bigint(self, base, exp):
+        got = powmod(np.uint64(base), np.uint64(exp))
+        assert int(got) == pow(base, exp, MERSENNE_P)
+
+    def test_exponent_bit_cap(self):
+        # Exponents below 2^20 must be exact with a 20-bit cap.
+        got = powmod(np.uint64(3), np.uint64(1_000_000), max_exp_bits=20)
+        assert int(got) == pow(3, 1_000_000, MERSENNE_P)
+
+    def test_fermat_little(self):
+        # a^(p-1) = 1 for a != 0 (p prime).
+        for a in (2, 3, 12345, MERSENNE_P - 2):
+            assert int(powmod(np.uint64(a), np.uint64(MERSENNE_P - 1))) == 1
+
+    def test_vector_exponents(self):
+        base = np.uint64(7)
+        exps = np.array([0, 1, 2, 61, 1000], dtype=np.uint64)
+        got = powmod(base, exps)
+        want = [pow(7, int(e), MERSENNE_P) for e in exps]
+        assert [int(g) for g in got] == want
+
+
+class TestPolyEval:
+    def test_constant(self):
+        c = np.array([42], dtype=np.uint64)
+        assert int(poly_eval(c, np.uint64(999))) == 42
+
+    def test_empty(self):
+        out = poly_eval(np.empty(0, dtype=np.uint64), np.arange(3, dtype=np.uint64))
+        assert np.all(out == 0)
+
+    @given(
+        st.lists(felem, min_size=1, max_size=6),
+        felem,
+    )
+    @settings(max_examples=100)
+    def test_matches_horner_bigint(self, coeffs, x):
+        got = int(poly_eval(np.array(coeffs, dtype=np.uint64), np.uint64(x)))
+        want = 0
+        for c in reversed(coeffs):
+            want = (want * x + c) % MERSENNE_P
+        assert got == want

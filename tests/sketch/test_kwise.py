@@ -1,0 +1,75 @@
+"""Tests for hash families: range, determinism, pairwise statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.field import MERSENNE_P
+from repro.sketch.kwise import PolynomialHash, SplitMix64Hash, make_hash
+
+
+@pytest.mark.parametrize("family", ["polynomial", "prf"])
+class TestHashFamilies:
+    def test_range(self, family):
+        h = make_hash(seed=1, independence=8, family=family)
+        vals = h.values(np.arange(10_000, dtype=np.uint64))
+        assert vals.min() >= 0
+        assert vals.max() < MERSENNE_P
+
+    def test_deterministic(self, family):
+        keys = np.arange(100, dtype=np.uint64)
+        a = make_hash(3, 8, family).values(keys)
+        b = make_hash(3, 8, family).values(keys)
+        assert np.array_equal(a, b)
+
+    def test_seed_sensitivity(self, family):
+        keys = np.arange(100, dtype=np.uint64)
+        a = make_hash(3, 8, family).values(keys)
+        b = make_hash(4, 8, family).values(keys)
+        assert not np.array_equal(a, b)
+
+    def test_uniformity(self, family):
+        h = make_hash(7, 8, family)
+        vals = h.values(np.arange(200_000, dtype=np.uint64)).astype(np.float64)
+        mean = vals.mean() / MERSENNE_P
+        assert 0.49 < mean < 0.51
+
+
+class TestPolynomialHash:
+    def test_degree_one_is_constant(self):
+        # independence=1 -> constant polynomial: all keys map to one value.
+        h = PolynomialHash(seed=2, independence=1)
+        vals = h.values(np.arange(10, dtype=np.uint64))
+        assert np.unique(vals).size == 1
+
+    def test_pairwise_independence_statistic(self):
+        # 2-wise independence is a property of the random *draw*: over many
+        # independent coefficient draws, the pair (lowbit h(0), lowbit h(1))
+        # must hit each of the four combinations ~1/4 of the time.
+        counts = np.zeros(4, dtype=np.int64)
+        trials = 800
+        keys = np.array([0, 1], dtype=np.uint64)
+        for seed in range(trials):
+            v = PolynomialHash(seed=seed, independence=2).values(keys)
+            combo = int(v[0] & np.uint64(1)) * 2 + int(v[1] & np.uint64(1))
+            counts[combo] += 1
+        assert counts.min() > trials / 4 * 0.75
+        assert counts.max() < trials / 4 * 1.25
+
+    def test_rejects_bad_independence(self):
+        with pytest.raises(ValueError):
+            PolynomialHash(seed=1, independence=0)
+
+
+class TestSplitMixHash:
+    def test_distinct_on_range(self):
+        h = SplitMix64Hash(seed=1)
+        vals = h.values(np.arange(100_000, dtype=np.uint64))
+        # Collisions into [0, p) are possible but vanishingly rare.
+        assert np.unique(vals).size > 99_990
+
+
+def test_make_hash_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown hash family"):
+        make_hash(1, 4, family="md5")

@@ -1,0 +1,169 @@
+"""Cross-module integration tests.
+
+These tests tie the layers together: engine-vs-ledger agreement, algorithm
+agreement across implementations, adversarial partitions, and the public
+API surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    KMachineCluster,
+    connected_components_distributed,
+    generators,
+    minimum_spanning_tree_distributed,
+    reference,
+)
+from repro.baselines import (
+    boruvka_nosketch,
+    flooding_connectivity,
+    referee_connectivity,
+)
+from repro.cluster.engine import Envelope, SyncEngine
+from repro.cluster.partition import VertexPartition
+from repro.core.labels import canonical_labels
+
+
+class TestEngineVsLedgerAgreement:
+    """The mailbox engine and the bulk accounting must agree on flooding."""
+
+    def test_flooding_round_counts_agree(self):
+        g = generators.gnm_random(60, 150, seed=1)
+        k = 4
+        cl = KMachineCluster.create(g, k=k, seed=1)
+        bulk = flooding_connectivity(cl)
+
+        # Engine version: every machine floods min labels of its vertices.
+        home = cl.partition.home
+
+        class FloodProgram:
+            def __init__(self) -> None:
+                self.labels = np.arange(g.n, dtype=np.int64)
+                self.pending: set[int] = set()
+                self.started = False
+
+            def on_round(self, machine, round_no, inbox):
+                label_bits = max(1, int(np.ceil(np.log2(g.n))))
+                updated: set[int] = set()
+                if not self.started:
+                    self.started = True
+                    updated = {int(v) for v in np.nonzero(home == machine)[0]}
+                for env in inbox:
+                    v, lab = env.payload
+                    if lab < self.labels[v]:
+                        self.labels[v] = lab
+                        updated.add(v)
+                outs = []
+                for v in updated:
+                    for w in g.neighbors(v):
+                        w = int(w)
+                        outs.append(
+                            Envelope(
+                                src=machine,
+                                dst=int(home[w]),
+                                bits=label_bits,
+                                payload=(w, int(self.labels[v])),
+                            )
+                        )
+                return outs
+
+            def is_done(self, machine):
+                return True
+
+        engine = SyncEngine(cl.topology)
+        programs = [FloodProgram() for _ in range(k)]
+        result = engine.run(programs, max_rounds=10_000)
+        assert result.terminated
+        # Engine executes real queuing; bulk computes the optimal schedule.
+        # They must agree within a small constant factor.
+        assert bulk.rounds <= result.rounds <= 4 * bulk.rounds + 8
+        # And the engine's machines converged to the true labels for their
+        # own vertices.
+        truth = reference.connected_components(g)
+        for m, prog in enumerate(programs):
+            mine = np.nonzero(home == m)[0]
+            assert np.array_equal(
+                canonical_labels(prog.labels)[mine], truth[mine]
+            )
+
+
+class TestAlgorithmAgreement:
+    def test_all_connectivity_algorithms_agree(self):
+        g = generators.planted_components(250, 7, seed=2)
+        truth = reference.connected_components(g)
+        for algo in (
+            lambda c: connected_components_distributed(c, seed=2).labels,
+            lambda c: flooding_connectivity(c).labels,
+            lambda c: boruvka_nosketch(c, seed=2).labels,
+            lambda c: referee_connectivity(c).labels,
+        ):
+            cl = KMachineCluster.create(g, k=4, seed=2)
+            assert np.array_equal(canonical_labels(algo(cl)), truth)
+
+    def test_mst_agreement_sketch_vs_nosketch(self):
+        g = generators.with_unique_weights(generators.gnm_random(150, 600, seed=3), seed=3)
+        cl1 = KMachineCluster.create(g, k=4, seed=3)
+        cl2 = KMachineCluster.create(g, k=4, seed=3)
+        a = minimum_spanning_tree_distributed(cl1, seed=3)
+        b = boruvka_nosketch(cl2, seed=3)
+        assert a.total_weight == pytest.approx(b.total_weight)
+
+
+class TestAdversarialPartitions:
+    def test_everything_on_one_machine(self):
+        # Upper bounds hold for any "balanced enough" partition; the
+        # algorithm must stay *correct* even under maximally skewed ones.
+        g = generators.gnm_random(100, 300, seed=4)
+        home = np.zeros(g.n, dtype=np.int64)
+        part = VertexPartition(k=4, home=home, seed=0)
+        cl = KMachineCluster.create(g, k=4, seed=4, partition=part)
+        res = connected_components_distributed(cl, seed=4)
+        assert np.array_equal(res.canonical(), reference.connected_components(g))
+
+    def test_bipartition_of_machines(self):
+        g = generators.gnm_random(100, 300, seed=5)
+        home = (np.arange(g.n) % 2).astype(np.int64) * 3
+        part = VertexPartition(k=4, home=home, seed=0)
+        cl = KMachineCluster.create(g, k=4, seed=5, partition=part)
+        res = connected_components_distributed(cl, seed=5)
+        assert np.array_equal(res.canonical(), reference.connected_components(g))
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_flow(self):
+        g = repro.generators.gnm_random(200, 800, seed=7)
+        cl = repro.KMachineCluster.create(g, k=8, seed=7)
+        res = repro.connected_components_distributed(cl, seed=7)
+        assert res.n_components == repro.reference.count_components(g)
+        assert res.rounds > 0
+
+
+class TestDeterminism:
+    def test_connectivity_bitwise_reproducible(self):
+        g = generators.gnm_random(180, 700, seed=8)
+        runs = []
+        for _ in range(2):
+            cl = KMachineCluster.create(g, k=8, seed=8)
+            res = connected_components_distributed(cl, seed=8)
+            runs.append((res.rounds, res.phases, res.labels.tobytes()))
+        assert runs[0] == runs[1]
+
+    def test_mst_bitwise_reproducible(self):
+        g = generators.with_unique_weights(generators.gnm_random(120, 400, seed=9), seed=9)
+        runs = []
+        for _ in range(2):
+            cl = KMachineCluster.create(g, k=4, seed=9)
+            res = minimum_spanning_tree_distributed(cl, seed=9)
+            runs.append((res.rounds, res.total_weight, res.edges_u.tobytes()))
+        assert runs[0] == runs[1]

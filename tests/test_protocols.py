@@ -1,0 +1,98 @@
+"""Tests for the engine-level protocols package."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterTopology, KMachineCluster, RoundLedger
+from repro.cluster.engine import SyncEngine
+from repro.graphs import generators as gen
+from repro.graphs import reference as ref
+from repro.protocols import (
+    BFSProgram,
+    LeaderElectionProgram,
+    bfs_distances_distributed,
+    charge_leader_election,
+    elect_leader,
+)
+from repro.protocols.base import TypedProgram
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize("k", [2, 3, 8, 16])
+    def test_unique_leader_constant_rounds(self, k):
+        leader, rounds = elect_leader(k, seed=7)
+        assert 0 <= leader < k
+        assert rounds <= 4  # O(1): one exchange + drain
+
+    def test_all_machines_agree(self):
+        k = 6
+        topo = ClusterTopology(k=k, bandwidth_bits=1024)
+        programs = [LeaderElectionProgram(k, seed=3) for _ in range(k)]
+        SyncEngine(topo).run(programs)
+        assert len({p.leader for p in programs}) == 1
+
+    def test_deterministic_given_seed(self):
+        assert elect_leader(8, seed=1)[0] == elect_leader(8, seed=1)[0]
+
+    def test_seed_varies_leader(self):
+        leaders = {elect_leader(8, seed=s)[0] for s in range(20)}
+        assert len(leaders) > 1  # not a fixed machine
+
+    def test_bulk_variant_matches_engine(self):
+        k = 8
+        led = RoundLedger(ClusterTopology(k=k, bandwidth_bits=1024))
+        bulk_leader, bulk_rounds = charge_leader_election(led, seed=5)
+        engine_leader, _ = elect_leader(k, seed=5)
+        assert bulk_leader == engine_leader
+        assert bulk_rounds >= 1
+        assert led.total_bits == k * (k - 1) * 64
+
+
+class TestBFS:
+    def test_path_distances(self):
+        g = gen.path_graph(40)
+        cl = KMachineCluster.create(g, k=4, seed=1)
+        dist, rounds = bfs_distances_distributed(cl, source=0)
+        assert np.array_equal(dist, ref.bfs_distances(g, 0))
+        assert rounds >= 39  # at least one round per BFS level
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_graph_distances(self, seed):
+        g = gen.gnm_random(120, 360, seed=seed)
+        cl = KMachineCluster.create(g, k=4, seed=seed)
+        dist, _ = bfs_distances_distributed(cl, source=5)
+        assert np.array_equal(dist, ref.bfs_distances(g, 5))
+
+    def test_disconnected_marks_unreachable(self):
+        g = gen.disjoint_union([gen.path_graph(10), gen.path_graph(10)])
+        cl = KMachineCluster.create(g, k=4, seed=2)
+        dist, _ = bfs_distances_distributed(cl, source=0)
+        assert np.all(dist[10:] == -1)
+        assert np.all(dist[:10] >= 0)
+
+    def test_rounds_track_diameter(self):
+        shallow = gen.gnm_random(200, 2000, seed=3)
+        deep = gen.path_graph(200)
+        cl1 = KMachineCluster.create(shallow, k=4, seed=3)
+        cl2 = KMachineCluster.create(deep, k=4, seed=3)
+        _, r_shallow = bfs_distances_distributed(cl1, source=0)
+        _, r_deep = bfs_distances_distributed(cl2, source=0)
+        assert r_deep > 3 * r_shallow
+
+
+class TestTypedProgram:
+    def test_unknown_tag_rejected(self):
+        class P(TypedProgram):
+            def start(self, machine):
+                self.send(1 - machine, "mystery", None, bits=1)
+
+        topo = ClusterTopology(k=2, bandwidth_bits=64)
+        with pytest.raises(ValueError, match="no handler"):
+            SyncEngine(topo).run([P(), P()])
+
+    def test_send_outside_round_rejected(self):
+        p = TypedProgram()
+        with pytest.raises(RuntimeError):
+            p.send(0, "x", None, 1)

@@ -1,0 +1,65 @@
+"""Tests for repro.util.bits: size accounting helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bits_for_count,
+    bits_for_id,
+    ceil_div,
+    ceil_log2,
+    polylog_bandwidth,
+)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,want", [(0, 1, 0), (1, 1, 1), (7, 3, 3), (9, 3, 3), (10, 3, 4)]
+    )
+    def test_values(self, a, b, want):
+        assert ceil_div(a, b) == want
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_matches_definition(self, a, b):
+        assert ceil_div(a, b) == (a + b - 1) // b
+
+
+class TestCeilLog2:
+    @pytest.mark.parametrize("x,want", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)])
+    def test_values(self, x, want):
+        assert ceil_log2(x) == want
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestBitsFor:
+    def test_id_covers_universe(self):
+        for u in (2, 3, 100, 4096, 10**6):
+            assert 2 ** bits_for_id(u) >= u
+
+    def test_count_covers_range(self):
+        for m in (0, 1, 7, 255, 256):
+            assert 2 ** bits_for_count(m) >= m + 1
+
+
+class TestPolylogBandwidth:
+    def test_grows_with_n(self):
+        assert polylog_bandwidth(2**16) > polylog_bandwidth(2**8)
+
+    def test_multiplier_scales(self):
+        assert polylog_bandwidth(1000, 128) == 2 * polylog_bandwidth(1000, 64)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            polylog_bandwidth(1)

@@ -1,0 +1,43 @@
+"""Tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import (
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+def test_check_positive():
+    check_positive("x", 1)
+    check_positive("x", 0.5)
+    with pytest.raises(ValueError, match="x must be positive"):
+        check_positive("x", 0)
+
+
+def test_check_non_negative():
+    check_non_negative("x", 0)
+    with pytest.raises(ValueError):
+        check_non_negative("x", -1)
+
+
+def test_check_probability():
+    check_probability("p", 0.0)
+    check_probability("p", 1.0)
+    with pytest.raises(ValueError):
+        check_probability("p", 1.5)
+    with pytest.raises(ValueError):
+        check_probability("p", -0.1)
+
+
+def test_check_index():
+    check_index("i", 0, 5)
+    check_index("i", 4, 5)
+    with pytest.raises(IndexError):
+        check_index("i", 5, 5)
+    with pytest.raises(IndexError):
+        check_index("i", -1, 5)
