@@ -27,7 +27,7 @@ if str(_SRC) not in sys.path:
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-__all__ = ["RESULTS_DIR", "report", "once", "work_rounds"]
+__all__ = ["RESULTS_DIR", "report", "once", "session_for", "work_rounds"]
 
 
 def work_rounds(ledger) -> int:
@@ -37,8 +37,26 @@ def work_rounds(ledger) -> int:
     link; with O(log^2 n) steps per run this additive term is the
     "+ polylog(n)" of the paper's O~ notation.  Subtracting it isolates
     the bandwidth-bound work term that the n/k^2 factor governs.
+    Delegates to ``RoundLedger.totals()`` — the same quantity RunReport
+    envelopes carry as ``report.work_rounds`` — so the definition lives in
+    exactly one place; kept for benches that hold a raw ledger.
     """
-    return sum(max(0, s.rounds - 1) for s in ledger.steps)
+    return ledger.totals()["work_rounds"]
+
+
+def session_for(graph=None, *, seed, k=8, bandwidth_bits=None):
+    """A :class:`repro.runtime.Session` with the bench's (seed, k, B) pinned.
+
+    Benches sweep via ``session.sweep(algo, ks=..., ns=...)`` and read
+    rounds / work_rounds / bits off the returned RunReport envelopes
+    instead of hand-building clusters and poking ledgers.
+    """
+    from repro.runtime import ClusterConfig, RunConfig, Session
+
+    config = RunConfig(
+        seed=seed, cluster=ClusterConfig(k=k, bandwidth_bits=bandwidth_bits)
+    )
+    return Session(graph, config=config)
 
 
 def report(name: str, text: str) -> None:

@@ -1,6 +1,8 @@
 """EXP T1-b — Theorem 1 vs the warm-up baselines (Section 2).
 
-The paper's positioning, reproduced as measurements:
+The paper's positioning, reproduced as measurements through the runtime
+API — the baselines and the sketch algorithm are just different registry
+names on one ``Session``:
 
 * flooding costs Theta(n/k + D) rounds — it loses to the sketch algorithm
   on high-diameter graphs (Table A);
@@ -19,14 +21,9 @@ k; EXPERIMENTS.md records this honestly.
 
 from __future__ import annotations
 
-from benchmarks._common import once, report
-from repro import KMachineCluster, connected_components_distributed, generators
+from benchmarks._common import once, report, session_for
+from repro import generators
 from repro.analysis import fit_power_law, format_table
-from repro.baselines import (
-    boruvka_nosketch,
-    flooding_connectivity,
-    referee_connectivity,
-)
 
 import numpy as np
 
@@ -37,12 +34,11 @@ def test_flooding_loses_on_diameter(benchmark):
 
     def sweep():
         rows = []
+        session = session_for(seed=3, k=k)
         for n in sizes:
             g = generators.path_graph(n)
-            cl = KMachineCluster.create(g, k=k, seed=3)
-            ours = connected_components_distributed(cl, seed=3).rounds
-            cl = KMachineCluster.create(g, k=k, seed=3)
-            flood = flooding_connectivity(cl).rounds
+            ours = session.run("connectivity", g).rounds
+            flood = session.run("flooding", g).rounds
             rows.append((n, ours, flood, flood / ours))
         return rows
 
@@ -66,26 +62,21 @@ def test_volume_crossover_in_m(benchmark):
 
     def sweep():
         rows = []
+        session = session_for(seed=4, k=k)
         for m in ms:
             g = generators.gnm_random(n, m, seed=4)
-            cl = KMachineCluster.create(g, k=k, seed=4)
-            ours = connected_components_distributed(cl, seed=4)
-            ours_bits = cl.ledger.total_bits
-            cl = KMachineCluster.create(g, k=k, seed=4)
-            refr = referee_connectivity(cl)
-            refr_bits = cl.ledger.total_bits
-            cl = KMachineCluster.create(g, k=k, seed=4)
-            nosk = boruvka_nosketch(cl, seed=4)
-            nosk_bits = cl.ledger.total_bits
+            ours = session.run("connectivity", g)
+            refr = session.run("referee", g)
+            nosk = session.run("boruvka_nosketch", g)
             rows.append(
                 (
                     m,
                     ours.rounds,
                     refr.rounds,
                     nosk.rounds,
-                    ours_bits / 1e6,
-                    refr_bits / 1e6,
-                    nosk_bits / 1e6,
+                    ours.total_bits / 1e6,
+                    refr.total_bits / 1e6,
+                    nosk.total_bits / 1e6,
                 )
             )
         return rows

@@ -1,6 +1,8 @@
 """EXP T1-k / T1-n — Theorem 1: connectivity runs in O~(n/k^2) rounds.
 
-Regenerates the paper's headline claims as measured series:
+Regenerates the paper's headline claims as measured series, driven through
+the unified runtime API (one ``Session``, ``sweep`` over k or n, metrics
+read off the RunReport envelopes):
 
 * ``test_rounds_vs_k`` — fixed n, sweep k: the round count must fall
   *superlinearly* in k (the prior best bound of Klauck et al. is O~(n/k),
@@ -8,19 +10,19 @@ Regenerates the paper's headline claims as measured series:
   raw rounds and the *work* term (raw minus the one-round-per-step floor —
   the additive "+polylog" of the O~ notation), with power-law fits.
 * ``test_rounds_vs_n`` — fixed k and fixed bandwidth, sweep n: the work
-  term grows ~ linearly in n.  (Bandwidth is held constant across the
-  sweep; the model's B = polylog(n) would otherwise mix a log^2 n factor
-  into the measured exponent.)
+  term grows ~ linearly in n.  (Bandwidth is pinned via
+  ``ClusterConfig.bandwidth_bits`` across the sweep; the model's
+  B = polylog(n) would otherwise mix a log^2 n factor into the measured
+  exponent.)
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report, work_rounds
-from repro import KMachineCluster, connected_components_distributed, generators
+from benchmarks._common import once, report, session_for
+from repro import generators
 from repro.analysis import fit_power_law, format_table
-from repro.cluster import ClusterTopology
 from repro.util.bits import polylog_bandwidth
 
 KS = (2, 4, 8, 16, 32)
@@ -30,14 +32,13 @@ NS = (1024, 2048, 4096, 8192)
 def test_rounds_vs_k(benchmark):
     n = 4096
     g = generators.gnm_random(n, 3 * n, seed=1)
+    session = session_for(g, seed=1)
 
     def sweep():
-        rows = []
-        for k in KS:
-            cl = KMachineCluster.create(g, k=k, seed=1)
-            res = connected_components_distributed(cl, seed=1)
-            rows.append((k, res.rounds, work_rounds(cl.ledger), res.phases))
-        return rows
+        return [
+            (r.graph["k"], r.rounds, r.work_rounds, r.result["phases"])
+            for r in session.sweep("connectivity", ks=KS)
+        ]
 
     rows = once(benchmark, sweep)
     ks = np.array([r[0] for r in rows], dtype=float)
@@ -72,16 +73,17 @@ def test_rounds_vs_k(benchmark):
 def test_rounds_vs_n(benchmark):
     k = 8
     bw = polylog_bandwidth(max(NS))
-    topo = ClusterTopology(k=k, bandwidth_bits=bw)
+    session = session_for(seed=2, k=k, bandwidth_bits=bw)
 
     def sweep():
-        rows = []
-        for n in NS:
-            g = generators.gnm_random(n, 3 * n, seed=2)
-            cl = KMachineCluster.create(g, k=k, seed=2, topology=topo)
-            res = connected_components_distributed(cl, seed=2)
-            rows.append((n, res.rounds, work_rounds(cl.ledger), res.phases))
-        return rows
+        reports = session.sweep(
+            "connectivity",
+            ns=NS,
+            graph_factory=lambda n: generators.gnm_random(n, 3 * n, seed=2),
+        )
+        return [
+            (r.graph["n"], r.rounds, r.work_rounds, r.result["phases"]) for r in reports
+        ]
 
     rows = once(benchmark, sweep)
     ns = np.array([r[0] for r in rows], dtype=float)

@@ -2,19 +2,22 @@
 
 * ``test_mst_rounds_vs_k`` — the MST algorithm inherits the connectivity
   scaling (superlinear speedup in k) and must produce the exact MST
-  (unique weights) at every point.
+  (unique weights) at every point; driven through ``Session.sweep`` with
+  metrics read off the RunReport envelopes.
 * ``test_strict_vs_relaxed`` — Theorem 2(b): requiring every MST edge to
   be announced to *both* endpoint home machines costs extra rounds that
   grow like n/k on a star (the centre's home machine must receive
   Omega(n) bits over its k-1 links), while the relaxed criterion's total
-  stays O~(n/k^2).
+  stays O~(n/k^2).  This test stays on the direct API: it inspects
+  individual ledger steps (the ``strict-output`` announcements), which the
+  envelope deliberately aggregates away.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report, work_rounds
+from benchmarks._common import once, report, session_for
 from repro import KMachineCluster, generators, minimum_spanning_tree_distributed
 from repro.analysis import fit_power_law, format_table
 from repro.graphs import reference as ref
@@ -26,14 +29,21 @@ def test_mst_rounds_vs_k(benchmark):
     n = 2048
     g = generators.with_unique_weights(generators.gnm_random(n, 4 * n, seed=5), seed=5)
     want = ref.mst_weight(g, ref.kruskal_mst(g))
+    session = session_for(g, seed=5)
 
     def sweep():
         rows = []
-        for k in KS:
-            cl = KMachineCluster.create(g, k=k, seed=5)
-            res = minimum_spanning_tree_distributed(cl, seed=5)
-            assert res.total_weight == want, "MST must be exact at every k"
-            rows.append((k, res.rounds, work_rounds(cl.ledger), res.phases, res.certified))
+        for r in session.sweep("mst", ks=KS):
+            assert r.result["total_weight"] == want, "MST must be exact at every k"
+            rows.append(
+                (
+                    r.graph["k"],
+                    r.rounds,
+                    r.work_rounds,
+                    r.result["phases"],
+                    r.result["certified"],
+                )
+            )
         return rows
 
     rows = once(benchmark, sweep)

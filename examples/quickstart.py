@@ -1,9 +1,11 @@
-"""Quickstart: distributed connectivity in the k-machine model.
+"""Quickstart: distributed connectivity through the unified runtime API.
 
-Builds a random graph, distributes it over k simulated machines under the
-random vertex partition, runs the paper's O~(n/k^2) connectivity algorithm
-(Theorem 1), and prints what the model measures: rounds, communication
-volume, and the per-step breakdown.
+Builds a random graph, runs the paper's O~(n/k^2) connectivity algorithm
+(Theorem 1) through a :class:`repro.runtime.Session`, and walks the
+:class:`~repro.runtime.report.RunReport` envelope: the result payload,
+the round/bandwidth ledger, per-phase diagnostics, and JSON provenance.
+Finishes with the legacy free-function path for comparison (same answers,
+same seeds — the registry adapters call those functions).
 
 Run:  python examples/quickstart.py
 """
@@ -15,45 +17,63 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import (
-    KMachineCluster,
-    connected_components_distributed,
-    generators,
-    reference,
-)
+from repro import generators, reference
+from repro.runtime import ClusterConfig, RunConfig, Session, list_algorithms
 
 
 def main() -> None:
-    n, m, k = 2000, 8000, 8
-    print(f"Building G(n={n}, m={m}), distributing over k={k} machines (RVP)...")
-    g = generators.gnm_random(n, m, seed=42)
-    cluster = KMachineCluster.create(g, k=k, seed=42)
-    summary = cluster.machine_load_summary()
-    print(
-        f"  partition balance: {summary['vertices_mean']:.0f} vertices/machine on average,"
-        f" max {summary['vertices_max']:.0f}"
-    )
-    print(f"  per-link bandwidth: {cluster.topology.bandwidth_bits} bits/round (polylog model)")
+    n, m, k, seed = 2000, 8000, 8, 42
+    print("Registered algorithms:", ", ".join(list_algorithms()))
 
-    print("\nRunning the Theorem-1 connectivity algorithm...")
-    result = connected_components_distributed(cluster, seed=42)
+    print(f"\nBuilding G(n={n}, m={m}); config: k={k}, seed={seed} (RVP)...")
+    g = generators.gnm_random(n, m, seed=seed)
+    config = RunConfig(seed=seed, cluster=ClusterConfig(k=k))
+    session = Session(g, config=config)
+
+    print("Running the Theorem-1 connectivity algorithm via Session.run()...")
+    report = session.run("connectivity")
     truth = reference.count_components(g)
-    print(f"  components found: {result.n_components} (sequential reference: {truth})")
-    print(f"  phases: {result.phases}   rounds: {result.rounds}   converged: {result.converged}")
-    print(f"  spanning forest edges collected at proxies: {result.forest_u.size}")
-    print(f"  total communication: {cluster.ledger.total_bits / 1e6:.1f} Mbit")
+    res = report.result
+    print(f"  components found: {res['n_components']} (sequential reference: {truth})")
+    print(
+        f"  phases: {res['phases']}   rounds: {report.rounds}"
+        f"   converged: {res['converged']}"
+    )
+    print(f"  spanning forest edges collected at proxies: {res['forest_edges']}")
+    print(f"  total communication: {report.total_bits / 1e6:.1f} Mbit")
 
-    print("\nRound breakdown by step type:")
-    for label, rounds in sorted(cluster.ledger.breakdown().items(), key=lambda x: -x[1]):
+    print("\nRound breakdown by step type (from the report's ledger section):")
+    for label, rounds in sorted(report.ledger["breakdown"].items(), key=lambda x: -x[1]):
         print(f"  {label:<20s} {rounds}")
 
     print("\nPer-phase progress (components, DRR depth, merge iterations):")
-    for s in result.phase_stats:
+    for s in report.phase_stats:
         print(
-            f"  phase {s.phase:>2}: {s.components_start:>5} -> {s.components_end:<5} components,"
-            f" depth {s.drr_max_depth}, {s.merge_iterations} merge iterations,"
-            f" {s.rounds} rounds"
+            f"  phase {s['phase']:>2}: {s['components_start']:>5} -> "
+            f"{s['components_end']:<5} components, depth {s['drr_max_depth']},"
+            f" {s['merge_iterations']} merge iterations, {s['rounds']} rounds"
         )
+
+    print("\nThe whole run serializes as one JSON envelope (provenance included):")
+    payload = report.to_json()
+    print(f"  report.to_json() -> {len(payload)} bytes; seed precedence recorded:")
+    print(f"  resolved seed {report.seed} (per-run > config.seed > default; DESIGN.md)")
+
+    print("\nSweeps are one call — rounds vs k (superlinear speedup, Theorem 1):")
+    for r in session.sweep("connectivity", ks=(2, 4, 8, 16)):
+        print(f"  k={r.graph['k']:>2}  rounds={r.rounds}")
+
+    # Compatibility note: the original free functions remain supported and
+    # give the same answers for the same seeds — they ARE the implementation
+    # behind the registry.
+    from repro import KMachineCluster, connected_components_distributed
+
+    cluster = KMachineCluster.create(g, k=k, seed=seed)
+    legacy = connected_components_distributed(cluster, seed=seed)
+    print(
+        f"\nLegacy path agrees: {legacy.n_components} components in"
+        f" {legacy.rounds} rounds (Session reported {report.rounds})"
+    )
 
 
 if __name__ == "__main__":

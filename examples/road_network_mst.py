@@ -2,10 +2,11 @@
 
 Spatial networks (roads, utility grids) are the classic MST workload.
 This example builds a random geometric graph with Euclidean edge weights,
-computes its MST with the Theorem-2 algorithm under both output criteria,
+computes its MST with the Theorem-2 algorithm under both output criteria
+through one :class:`repro.runtime.Session` (``params={"output": ...}``),
 validates against Kruskal, estimates the network's edge connectivity with
-the Theorem-3 sampler, and round-trips the graph through the edge-list
-persistence format.
+the Theorem-3 sampler, persists the full RunReport envelope as JSON, and
+round-trips the graph through the edge-list persistence format.
 
 Run:  python examples/road_network_mst.py
 """
@@ -20,55 +21,67 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-from repro import (
-    KMachineCluster,
-    generators,
-    mincut_approx_distributed,
-    minimum_spanning_tree_distributed,
-    reference,
-)
+from repro import generators, reference
 from repro.analysis import print_table
 from repro.graphs.io import load_edgelist, save_edgelist
+from repro.runtime import ClusterConfig, RunConfig, RunReport, Session
 
 
 def main() -> None:
-    n, radius, k = 1200, 0.06, 8
+    n, radius, k, seed = 1200, 0.06, 8, 11
     print(f"Building a random geometric graph (n={n}, radius={radius})...")
-    g = generators.random_geometric(n, radius, seed=11)
+    g = generators.random_geometric(n, radius, seed=seed)
     # Euclidean-ish weights: random but unique, standing in for distances.
-    g = generators.with_unique_weights(g, seed=11)
+    g = generators.with_unique_weights(g, seed=seed)
     print(f"  m={g.m}, components={reference.count_components(g)}")
 
+    session = Session(g, config=RunConfig(seed=seed, cluster=ClusterConfig(k=k)))
+
     print(f"\nDistributed MST over k={k} machines (Theorem 2)...")
-    cluster = KMachineCluster.create(g, k=k, seed=11)
-    mst = minimum_spanning_tree_distributed(cluster, seed=11)
+    mst = session.run("mst")
     kr = reference.kruskal_mst(g)
-    print(f"  edges selected: {mst.n_edges} (expected {kr.size})")
-    print(f"  total weight:   {mst.total_weight:.1f} (Kruskal: {reference.mst_weight(g, kr):.1f})")
-    print(f"  certified MWOEs: {mst.certified}   rounds: {mst.rounds}")
-    owners = np.bincount(mst.owner_machine, minlength=k)
+    res = mst.result
+    print(f"  edges selected: {res['n_edges']} (expected {kr.size})")
+    print(
+        f"  total weight:   {res['total_weight']:.1f}"
+        f" (Kruskal: {reference.mst_weight(g, kr):.1f})"
+    )
+    print(f"  certified MWOEs: {res['certified']}   rounds: {mst.rounds}")
+    owners = np.bincount(np.asarray(res["owner_machine"]), minlength=k)
     print(f"  relaxed output: edges held per machine = {owners.tolist()}")
 
     print("\nStrict output criterion (Theorem 2b) on the same input:")
-    cluster2 = KMachineCluster.create(g, k=k, seed=11)
-    strict = minimum_spanning_tree_distributed(cluster2, seed=11, output="strict")
+    strict = session.run(
+        "mst", config=session.config.with_overrides(params={"output": "strict"})
+    )
     print(f"  strict rounds: {strict.rounds} vs relaxed {mst.rounds}")
 
     print("\nEdge-connectivity estimate (Theorem 3 sampler):")
-    cluster3 = KMachineCluster.create(g, k=k, seed=11)
-    cut = mincut_approx_distributed(cluster3, seed=11)
+    cut = session.run("mincut")
     rows = [
-        (lv.level, f"{lv.sample_probability:.3f}", lv.edges_kept, lv.n_components)
-        for lv in cut.levels
+        (lv["level"], f"{lv['sample_probability']:.3f}", lv["edges_kept"], lv["n_components"])
+        for lv in cut.phase_stats
     ]
     print_table(["level", "p", "edges kept", "components"], rows)
-    print(f"  estimate: {cut.estimate:.1f} (disconnects at level {cut.disconnect_level})")
+    print(
+        f"  estimate: {cut.result['estimate']:.1f}"
+        f" (disconnects at level {cut.result['disconnect_level']})"
+    )
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "roads.edges"
         save_edgelist(g, path)
         g2 = load_edgelist(path)
         print(f"\nPersistence round-trip: saved and reloaded {g2.m} weighted edges OK")
+
+        report_path = Path(tmp) / "mst_report.json"
+        report_path.write_text(mst.to_json(indent=2), encoding="utf-8")
+        restored = RunReport.from_json(report_path.read_text(encoding="utf-8"))
+        assert restored == mst
+        print(
+            f"RunReport round-trip: {report_path.stat().st_size} bytes of JSON"
+            " reload to an identical envelope"
+        )
 
 
 if __name__ == "__main__":

@@ -1,9 +1,10 @@
 """Scaling study: measure the O~(n/k^2) law on your own parameters.
 
-A small CLI over the sweep/fit machinery the benchmark harness uses:
-sweeps k at fixed n (and optionally n at fixed k), fits power laws, and
-prints the speedup-vs-linear comparison that distinguishes Theorem 1 from
-the prior O~(n/k) bound.
+A small CLI over :meth:`repro.runtime.Session.sweep`: sweeps k at fixed n,
+fits power laws, and prints the speedup-vs-linear comparison that
+distinguishes Theorem 1 from the prior O~(n/k) bound.  ``--processes``
+fans the sweep out over a process pool; ``--mst`` switches the registry
+name (the MST algorithm needs — and automatically gets — unique weights).
 
 Run:  python examples/scaling_study.py [--n 4096] [--k-max 32] [--mst]
 """
@@ -18,13 +19,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-from repro import (
-    KMachineCluster,
-    connected_components_distributed,
-    generators,
-    minimum_spanning_tree_distributed,
-)
+from repro import generators
 from repro.analysis import fit_power_law, print_table
+from repro.runtime import ClusterConfig, RunConfig, Session
 
 
 def main() -> None:
@@ -34,6 +31,9 @@ def main() -> None:
     ap.add_argument("--k-max", type=int, default=16, help="largest machine count (default 16)")
     ap.add_argument("--seed", type=int, default=1, help="master seed")
     ap.add_argument("--mst", action="store_true", help="run MST instead of connectivity")
+    ap.add_argument(
+        "--processes", type=int, default=None, help="process-pool width (default: sequential)"
+    )
     args = ap.parse_args()
 
     n = args.n
@@ -42,17 +42,13 @@ def main() -> None:
     if args.mst:
         g = generators.with_unique_weights(g, seed=args.seed)
     ks = [k for k in (2, 4, 8, 16, 32, 64) if k <= args.k_max]
+    algorithm = "mst" if args.mst else "connectivity"
 
-    algo = "MST (Theorem 2)" if args.mst else "connectivity (Theorem 1)"
-    print(f"Sweeping {algo} on G(n={n}, m={m}) over k = {ks}...\n")
-    rows = []
-    for k in ks:
-        cluster = KMachineCluster.create(g, k=k, seed=args.seed)
-        if args.mst:
-            res = minimum_spanning_tree_distributed(cluster, seed=args.seed)
-        else:
-            res = connected_components_distributed(cluster, seed=args.seed)
-        rows.append((k, res.rounds, res.phases))
+    label = "MST (Theorem 2)" if args.mst else "connectivity (Theorem 1)"
+    print(f"Sweeping {label} on G(n={n}, m={m}) over k = {ks}...\n")
+    session = Session(g, config=RunConfig(seed=args.seed))
+    reports = session.sweep(algorithm, ks=ks, processes=args.processes)
+    rows = [(r.graph["k"], r.rounds, r.result["phases"]) for r in reports]
     base_k, base_rounds = rows[0][0], rows[0][1]
     table_rows = [
         (

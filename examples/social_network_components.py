@@ -4,9 +4,10 @@ The paper's motivation (Section 1) is graph processing at Pregel/Giraph
 scale — social networks with heavy-tailed degree distributions.  This
 example builds a preferential-attachment graph, knocks out a growing
 fraction of edges (simulated link failures), and tracks connected
-components with the distributed algorithm — comparing its rounds against
-the flooding baseline a Giraph job would effectively run, and exhibiting
-the superlinear speedup in k that Theorem 1 promises.
+components with the distributed algorithm via the runtime API — comparing
+its rounds against the flooding baseline a Giraph job would effectively
+run (one ``Session``, two registry names), and exhibiting the superlinear
+speedup in k that Theorem 1 promises via ``Session.sweep``.
 
 Run:  python examples/social_network_components.py
 """
@@ -20,18 +21,20 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-from repro import KMachineCluster, connected_components_distributed, generators, reference
+from repro import generators, reference
 from repro.analysis import print_table
-from repro.baselines import flooding_connectivity
+from repro.runtime import ClusterConfig, RunConfig, Session
 from repro.util.rng import SeedStream
 
 
 def main() -> None:
-    n = 3000
+    n, seed = 3000, 7
     print(f"Building a preferential-attachment network (n={n}, 2 links per newcomer)...")
-    g = generators.powerlaw_preferential(n, attach=2, seed=7)
+    g = generators.powerlaw_preferential(n, attach=2, seed=seed)
     deg = np.asarray(g.degree())
     print(f"  m={g.m}, max degree {deg.max()} (median {int(np.median(deg))}) - heavy tail")
+
+    session = Session(config=RunConfig(seed=seed, cluster=ClusterConfig(k=8)))
 
     print("\nComponent tracking under random edge failures (k=8):")
     rows = []
@@ -39,12 +42,13 @@ def main() -> None:
     u01 = stream.keyed_uniform(np.arange(g.m, dtype=np.uint64))
     for fail_frac in (0.0, 0.3, 0.6, 0.8):
         sub = g.subgraph(u01 >= fail_frac)
-        cluster = KMachineCluster.create(sub, k=8, seed=7)
-        res = connected_components_distributed(cluster, seed=7)
+        report = session.run("connectivity", sub)
         truth = reference.count_components(sub)
-        assert res.n_components == truth
-        giant = int(np.bincount(res.canonical()).max())
-        rows.append((f"{fail_frac:.0%}", sub.m, res.n_components, giant, res.rounds))
+        assert report.result["n_components"] == truth
+        giant = int(np.bincount(report.result["labels"]).max())
+        rows.append(
+            (f"{fail_frac:.0%}", sub.m, report.result["n_components"], giant, report.rounds)
+        )
     print_table(
         ["failed edges", "m", "components", "giant size", "rounds"],
         rows,
@@ -52,13 +56,10 @@ def main() -> None:
     )
 
     print("\nSpeedup in k on the intact network (Theorem 1 vs flooding):")
-    rows = []
-    for k in (2, 4, 8, 16):
-        cluster = KMachineCluster.create(g, k=k, seed=7)
-        ours = connected_components_distributed(cluster, seed=7).rounds
-        cluster = KMachineCluster.create(g, k=k, seed=7)
-        flood = flooding_connectivity(cluster).rounds
-        rows.append((k, ours, flood))
+    ks = (2, 4, 8, 16)
+    ours = session.sweep("connectivity", graph=g, ks=ks)
+    flood = session.sweep("flooding", graph=g, ks=ks)
+    rows = [(k, o.rounds, f.rounds) for k, o, f in zip(ks, ours, flood)]
     base = rows[0][1]
     print_table(
         ["k", "sketch rounds", "flooding rounds"],

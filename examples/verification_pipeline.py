@@ -6,6 +6,12 @@ including the exact Figure-1 lower-bound construction, where verifying
 and reports answers, rounds, and the bits crossing the Alice/Bob machine
 cut of the 2-party simulation.
 
+The input-free problems (bipartiteness, cycle containment, s-t
+connectivity) run through the ``"verify"`` registry entry of the runtime
+API with ``params={"problem": ...}``; the problems that take per-edge
+masks call :mod:`repro.core.verify` directly — the uniform interface
+covers configs, not arbitrary per-edge query inputs.
+
 Run:  python examples/verification_pipeline.py
 """
 
@@ -22,6 +28,7 @@ from repro import KMachineCluster, generators, reference
 from repro.analysis import print_table
 from repro.core import verify
 from repro.lowerbounds import make_instance, simulate_scs_protocol
+from repro.runtime import ClusterConfig, RunConfig, Session
 
 
 def main() -> None:
@@ -35,26 +42,35 @@ def main() -> None:
     bridge = np.zeros(path.m, dtype=bool)
     bridge[mid] = True
 
-    checks = [
+    session = Session(config=RunConfig(seed=5, cluster=ClusterConfig(k=8)))
+
+    rows = []
+    # Input-free problems: one registry name, dispatched by params.
+    registry_checks = [
+        ("s-t connectivity", g, {"problem": "st_connectivity", "s": 0, "t": 599}),
+        ("cycle containment", g, {"problem": "cycle_containment"}),
+        ("bipartiteness", generators.grid2d(20, 30), {"problem": "bipartiteness"}),
+    ]
+    for name, graph, params in registry_checks:
+        report = session.run(
+            "verify", graph, config=session.config.with_overrides(params=params)
+        )
+        rows.append((name, report.result["answer"], report.rounds))
+
+    # Mask-parameterized problems: the direct Theorem-4 functions.
+    mask_checks = [
         ("spanning connected subgraph", lambda: verify.spanning_connected_subgraph(
             KMachineCluster.create(g, 8, 5), span, seed=5)),
         ("cut verification", lambda: verify.cut_verification(
             KMachineCluster.create(path, 8, 5), bridge, seed=5)),
-        ("s-t connectivity", lambda: verify.st_connectivity(
-            KMachineCluster.create(g, 8, 5), 0, 599, seed=5)),
         ("s-t cut", lambda: verify.st_cut_verification(
             KMachineCluster.create(path, 8, 5), bridge, 0, 599, seed=5)),
         ("edge on all paths", lambda: verify.edge_on_all_paths(
             KMachineCluster.create(path, 8, 5), 300, 301, 0, 599, seed=5)),
-        ("cycle containment", lambda: verify.cycle_containment(
-            KMachineCluster.create(g, 8, 5), seed=5)),
         ("e-cycle containment", lambda: verify.e_cycle_containment(
             KMachineCluster.create(g, 8, 5), int(g.edges_u[0]), int(g.edges_v[0]), seed=5)),
-        ("bipartiteness", lambda: verify.bipartiteness(
-            KMachineCluster.create(generators.grid2d(20, 30), 8, 5), seed=5)),
     ]
-    rows = []
-    for name, fn in checks:
+    for name, fn in mask_checks:
         res = fn()
         rows.append((name, res.answer, res.rounds))
     print_table(["problem", "answer", "rounds"], rows)

@@ -8,17 +8,40 @@ substrates they rely on (linear l0-sampling graph sketches, distributed
 random ranking, randomized proxy routing), the baselines the paper compares
 against analytically, and the Section-4 lower-bound simulations.
 
-Quickstart
-----------
->>> from repro import generators, KMachineCluster, connected_components_distributed
+Quickstart — the unified runtime API
+------------------------------------
+Everything runnable lives behind one registry and one envelope:
+
+>>> from repro import generators
+>>> from repro.runtime import Session, RunConfig, ClusterConfig, list_algorithms
+>>> sorted(list_algorithms())  # doctest: +NORMALIZE_WHITESPACE
+['boruvka_nosketch', 'connectivity', 'flooding', 'mincut', 'mst',
+ 'referee', 'rep', 'verify']
 >>> g = generators.gnm_random(n=1000, m=4000, seed=7)
->>> cluster = KMachineCluster.create(g, k=8, seed=7)
->>> result = connected_components_distributed(cluster, seed=7)
->>> result.n_components
+>>> session = Session(g, config=RunConfig(seed=7, cluster=ClusterConfig(k=8)))
+>>> report = session.run("connectivity")
+>>> report.result["n_components"]
 1
 
+Each run returns a serializable :class:`~repro.runtime.report.RunReport`
+(``report.to_json()`` round-trips losslessly) carrying the result, ledger
+totals, phase stats, wall time, and full config provenance.  Seeds resolve
+by documented precedence: per-run seed -> ``RunConfig.seed`` -> default.
+Sweeps (``session.sweep(..., ks=(2, 4, 8), seeds=range(5))``) and a CLI
+(``python -m repro run connectivity --n 200 --k 4``) sit on top.
+
+Compatibility note: the original free functions remain fully supported —
+
+>>> from repro import KMachineCluster, connected_components_distributed
+>>> cluster = KMachineCluster.create(g, k=8, seed=7)
+>>> connected_components_distributed(cluster, seed=7).n_components
+1
+
+they are the implementation the registry adapters call, and produce the
+same answers for the same seeds as the Session path.
+
 See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
-system inventory.
+system inventory and the runtime API / seed-precedence policy.
 """
 
 from repro.graphs import Graph, GraphBuilder, generators, reference
@@ -33,10 +56,22 @@ from repro.core import (
     minimum_spanning_tree_distributed,
     verify,
 )
+from repro.runtime import (
+    ClusterConfig,
+    RunConfig,
+    RunReport,
+    Session,
+    SketchConfig,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+    run_algorithm,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ClusterConfig",
     "ClusterTopology",
     "ConnectivityResult",
     "Graph",
@@ -45,11 +80,19 @@ __all__ = [
     "MSTResult",
     "MinCutResult",
     "RoundLedger",
+    "RunConfig",
+    "RunReport",
+    "Session",
+    "SketchConfig",
     "connected_components_distributed",
     "count_components_distributed",
     "generators",
+    "get_algorithm",
+    "list_algorithms",
     "mincut_approx_distributed",
     "minimum_spanning_tree_distributed",
     "reference",
+    "register_algorithm",
+    "run_algorithm",
     "verify",
 ]

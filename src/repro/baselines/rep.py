@@ -25,6 +25,7 @@ import numpy as np
 from repro.cluster.cluster import KMachineCluster
 from repro.cluster.comm import CommStep
 from repro.cluster.partition import random_edge_partition
+from repro.cluster.topology import ClusterTopology
 from repro.core.connectivity import connected_components_distributed
 from repro.core.mst import minimum_spanning_tree_distributed
 from repro.graphs.graph import Graph
@@ -37,13 +38,20 @@ __all__ = ["REPResult", "rep_connectivity", "rep_mst"]
 
 @dataclass(frozen=True)
 class REPResult:
-    """Output of a REP-model run."""
+    """Output of a REP-model run.
+
+    ``ledger_totals`` is the envelope-form summary of the *internal*
+    cluster's ledger (the REP model scatters edges over its own machines,
+    so the caller has no cluster of its own to charge); see
+    :meth:`repro.cluster.ledger.RoundLedger.totals`.
+    """
 
     n_components: int
     total_weight: float
     rounds: int
     reroute_rounds: int
     filtered_edges: int
+    ledger_totals: dict | None = None
 
 
 def _filter_local_edges(g: Graph, edge_machine: np.ndarray, k: int) -> np.ndarray:
@@ -77,15 +85,29 @@ def _charge_reroute(
     return step.deliver()
 
 
+def _rep_topology(k: int, bandwidth_bits: int | None) -> ClusterTopology | None:
+    """Pinned-bandwidth topology for n-sweeps at fixed B, else the default."""
+    return None if bandwidth_bits is None else ClusterTopology(k=k, bandwidth_bits=bandwidth_bits)
+
+
 def rep_connectivity(
-    graph: Graph, k: int, seed: int = 0, bandwidth_multiplier: int = 64, **kw: object
+    graph: Graph,
+    k: int,
+    seed: int = 0,
+    bandwidth_multiplier: int = 64,
+    bandwidth_bits: int | None = None,
+    **kw: object,
 ) -> REPResult:
     """Connectivity under the REP model: filter -> reroute -> RVP algorithm."""
     edge_machine = random_edge_partition(graph.m, k, derive_seed(seed, 0xE0))
     keep = _filter_local_edges(graph, edge_machine, k)
     filtered = graph.subgraph(keep)
     cluster = KMachineCluster.create(
-        filtered, k, derive_seed(seed, 0xE1), bandwidth_multiplier=bandwidth_multiplier
+        filtered,
+        k,
+        derive_seed(seed, 0xE1),
+        bandwidth_multiplier=bandwidth_multiplier,
+        topology=_rep_topology(k, bandwidth_bits),
     )
     reroute_rounds = _charge_reroute(cluster, graph, keep, edge_machine)
     res = connected_components_distributed(cluster, seed=derive_seed(seed, 0xE2), **kw)  # type: ignore[arg-type]
@@ -95,11 +117,17 @@ def rep_connectivity(
         rounds=cluster.ledger.total_rounds,
         reroute_rounds=reroute_rounds,
         filtered_edges=int(keep.sum()),
+        ledger_totals=cluster.ledger.totals(),
     )
 
 
 def rep_mst(
-    graph: Graph, k: int, seed: int = 0, bandwidth_multiplier: int = 64, **kw: object
+    graph: Graph,
+    k: int,
+    seed: int = 0,
+    bandwidth_multiplier: int = 64,
+    bandwidth_bits: int | None = None,
+    **kw: object,
 ) -> REPResult:
     """MST under the REP model: the footnote-5 filter-and-convert algorithm.
 
@@ -112,7 +140,11 @@ def rep_mst(
     keep = _filter_local_edges(graph, edge_machine, k)
     filtered = graph.subgraph(keep)
     cluster = KMachineCluster.create(
-        filtered, k, derive_seed(seed, 0xE5), bandwidth_multiplier=bandwidth_multiplier
+        filtered,
+        k,
+        derive_seed(seed, 0xE5),
+        bandwidth_multiplier=bandwidth_multiplier,
+        topology=_rep_topology(k, bandwidth_bits),
     )
     reroute_rounds = _charge_reroute(cluster, graph, keep, edge_machine)
     res = minimum_spanning_tree_distributed(cluster, seed=derive_seed(seed, 0xE6), **kw)  # type: ignore[arg-type]
@@ -122,4 +154,5 @@ def rep_mst(
         rounds=cluster.ledger.total_rounds,
         reroute_rounds=reroute_rounds,
         filtered_edges=int(keep.sum()),
+        ledger_totals=cluster.ledger.totals(),
     )

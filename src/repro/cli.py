@@ -1,0 +1,273 @@
+"""``python -m repro`` / ``repro`` — the command-line face of the runtime API.
+
+Subcommands
+-----------
+* ``repro list`` — every registered algorithm with kind and summary.
+* ``repro run <algorithm>`` — build a graph, run once, print the report
+  summary (``--json`` emits the full RunReport envelope).
+* ``repro sweep <algorithm>`` — grid over ``--ks`` / ``--seeds`` / ``--ns``
+  with optional ``--processes`` fan-out; prints one line per grid point.
+
+Examples::
+
+    python -m repro list
+    python -m repro run connectivity --n 200 --k 4
+    python -m repro run mst --n 500 --k 8 --seed 3 --json report.json
+    python -m repro run verify --n 200 --param problem=cycle_containment
+    python -m repro sweep connectivity --n 1000 --ks 2,4,8 --seeds 0,1,2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.runtime import (
+    ClusterConfig,
+    RunConfig,
+    Session,
+    SketchConfig,
+    get_algorithm,
+    list_algorithms,
+    resolve_seed,
+)
+from repro.runtime.config import HASH_FAMILIES
+
+# Single source of truth for option defaults: the config dataclasses.
+_SKETCH_DEFAULTS = SketchConfig()
+_CLUSTER_DEFAULTS = ClusterConfig()
+
+__all__ = ["main"]
+
+#: Graph families constructible from (n, m, seed) on the command line.
+GRAPH_KINDS = ("gnm", "path", "cycle", "star", "grid", "powerlaw", "geometric")
+
+
+def _build_graph(args: argparse.Namespace, seed: int, *, n: int | None = None) -> Graph:
+    """Build the input graph named by ``--graph`` (size overridable for sweeps)."""
+    n = int(args.n if n is None else n)
+    kind = args.graph
+    gseed = args.graph_seed if args.graph_seed is not None else seed
+    if kind == "gnm":
+        m = args.m if args.m is not None else 3 * n
+        g = generators.gnm_random(n, int(m), seed=gseed)
+    elif kind == "path":
+        g = generators.path_graph(n)
+    elif kind == "cycle":
+        g = generators.cycle_graph(n)
+    elif kind == "star":
+        g = generators.star_graph(n)
+    elif kind == "grid":
+        side = max(2, int(round(n**0.5)))
+        g = generators.grid2d(side, side)
+    elif kind == "powerlaw":
+        g = generators.powerlaw_preferential(n, attach=2, seed=gseed)
+    elif kind == "geometric":
+        g = generators.random_geometric(n, radius=args.radius, seed=gseed)
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(f"unknown graph kind {kind!r}")
+    params = dict(args.param or [])
+    needs_weights = (
+        args.weighted
+        or get_algorithm(args.algorithm).requires_weights
+        or bool(params.get("mst"))  # rep's MST variant needs weights too
+    )
+    if needs_weights and not g.weighted:
+        g = generators.with_unique_weights(g, seed=gseed)
+    return g
+
+
+def _parse_param(text: str):
+    """Parse one ``--param key=value`` item; values are JSON with str fallback."""
+    key, sep, raw = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"--param needs key=value, got {text!r}")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+def _config_from_args(args: argparse.Namespace) -> RunConfig:
+    return RunConfig(
+        seed=args.seed,
+        sketch=SketchConfig(repetitions=args.repetitions, hash_family=args.hash_family),
+        cluster=ClusterConfig(
+            k=args.k,
+            bandwidth_multiplier=args.bandwidth_multiplier,
+            partition_seed=args.partition_seed,
+        ),
+        max_phases=args.max_phases,
+        params=dict(args.param or []),
+    ).validate()
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _add_run_options(p: argparse.ArgumentParser) -> None:
+    graph = p.add_argument_group("graph construction")
+    graph.add_argument("--graph", choices=GRAPH_KINDS, default="gnm", help="graph family")
+    graph.add_argument("--n", type=int, default=1000, help="vertices (default 1000)")
+    graph.add_argument("--m", type=int, default=None, help="edges for gnm (default 3n)")
+    graph.add_argument("--radius", type=float, default=0.08, help="radius for geometric")
+    graph.add_argument(
+        "--graph-seed", type=int, default=None, help="graph seed (default: the run seed)"
+    )
+    graph.add_argument(
+        "--weighted", action="store_true", help="force unique edge weights on the input"
+    )
+    cfg = p.add_argument_group("run configuration")
+    cfg.add_argument(
+        "--k", type=int, default=_CLUSTER_DEFAULTS.k, help=f"machines (default {_CLUSTER_DEFAULTS.k})"
+    )
+    cfg.add_argument("--seed", type=int, default=None, help="run seed (default 0)")
+    cfg.add_argument(
+        "--repetitions",
+        type=int,
+        default=_SKETCH_DEFAULTS.repetitions,
+        help="sketch repetitions",
+    )
+    cfg.add_argument(
+        "--hash-family",
+        choices=HASH_FAMILIES,
+        default=_SKETCH_DEFAULTS.hash_family,
+        help="sketch hash family",
+    )
+    cfg.add_argument("--max-phases", type=int, default=None, help="phase budget override")
+    cfg.add_argument(
+        "--bandwidth-multiplier",
+        type=int,
+        default=_CLUSTER_DEFAULTS.bandwidth_multiplier,
+        help="per-link bandwidth scale",
+    )
+    cfg.add_argument(
+        "--partition-seed", type=int, default=None, help="pin the vertex-partition seed"
+    )
+    cfg.add_argument(
+        "--param",
+        action="append",
+        type=_parse_param,
+        metavar="KEY=VALUE",
+        help="algorithm-specific extra (repeatable), e.g. --param output=strict",
+    )
+    p.add_argument("--json", metavar="PATH", help="write the RunReport JSON ('-' for stdout)")
+
+
+def _emit_json(reports, path: str, *, as_array: bool) -> None:
+    """``run`` always writes one object; ``sweep`` always writes an array,
+    so consumers get a stable shape regardless of grid size."""
+    if as_array:
+        text = json.dumps([r.to_dict() for r in reports], sort_keys=True, indent=2)
+    else:
+        text = reports[0].to_json(indent=2)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {path}")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    names = list_algorithms()
+    width = max(len(n) for n in names)
+    for name in names:
+        spec = get_algorithm(name)
+        weights = " [weighted]" if spec.requires_weights else ""
+        print(f"{name:<{width}}  {spec.kind:<8}  {spec.summary}{weights}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    seed = resolve_seed(None, config.seed)
+    graph = _build_graph(args, seed)
+    report = Session(graph, config=config).run(args.algorithm)
+    print(report.summary())
+    if args.json:
+        _emit_json([report], args.json, as_array=False)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    seed = resolve_seed(None, config.seed)
+    session = Session(config=config)
+    if args.ns:
+        reports = session.sweep(
+            args.algorithm,
+            seeds=args.seeds,
+            ks=args.ks,
+            ns=args.ns,
+            graph_factory=lambda n: _build_graph(args, seed, n=n),
+            processes=args.processes,
+        )
+    else:
+        reports = session.sweep(
+            args.algorithm,
+            seeds=args.seeds,
+            ks=args.ks,
+            graph=_build_graph(args, seed),
+            processes=args.processes,
+        )
+    for report in reports:
+        print(report.summary())
+    if args.json:
+        _emit_json(reports, args.json, as_array=True)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's distributed graph algorithms and baselines "
+        "through the unified runtime API.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered algorithms")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one algorithm on a generated graph")
+    p_run.add_argument("algorithm", help="registry name (see 'repro list')")
+    _add_run_options(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a seed/k/n grid")
+    p_sweep.add_argument("algorithm", help="registry name (see 'repro list')")
+    _add_run_options(p_sweep)
+    p_sweep.add_argument("--ks", type=_int_list, default=None, help="comma list of k values")
+    p_sweep.add_argument("--seeds", type=_int_list, default=None, help="comma list of seeds")
+    p_sweep.add_argument(
+        "--ns", type=_int_list, default=None, help="comma list of graph sizes (n)"
+    )
+    p_sweep.add_argument(
+        "--processes", type=int, default=None, help="process-pool width (default: sequential)"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) closed early; not an error.
+        return 0
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

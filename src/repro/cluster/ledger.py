@@ -133,12 +133,40 @@ class RoundLedger:
         """Largest cumulative receive volume of any machine (congestion)."""
         return int(self.received_bits.max(initial=0))
 
-    def breakdown(self) -> dict[str, int]:
-        """Rounds aggregated by step-label prefix (text before first ':')."""
+    def totals(
+        self, *, steps_offset: int = 0, received_before: np.ndarray | None = None
+    ) -> dict:
+        """Envelope-form summary consumed by :class:`repro.runtime.report.RunReport`.
+
+        ``steps_offset`` / ``received_before`` restrict the summary to steps
+        recorded after that point, so a run charged to a shared ledger can
+        report only its own cost.  ``work_rounds`` strips the
+        one-round-per-step floor (the additive "+polylog" of the O~
+        notation) — the term the scaling benchmarks fit power laws to.
+        """
+        steps = self.steps[steps_offset:]
+        received = self.received_bits
+        if received_before is not None:
+            received = received - received_before
+        return {
+            "rounds": int(sum(s.rounds for s in steps)),
+            "work_rounds": int(sum(max(0, s.rounds - 1) for s in steps)),
+            "total_bits": int(sum(s.total_bits for s in steps)),
+            "max_machine_received_bits": int(received.max(initial=0)),
+            "n_steps": len(steps),
+            "breakdown": dict(sorted(self.breakdown(steps).items())),
+        }
+
+    def breakdown(self, steps: list[StepRecord] | None = None) -> dict[str, int]:
+        """Rounds aggregated by step-label prefix (text before first ':').
+
+        ``steps`` restricts the aggregation to a slice (used by
+        :meth:`totals`); default is every recorded step.
+        """
         agg: dict[str, int] = {}
-        for s in self.steps:
+        for s in self.steps if steps is None else steps:
             key = s.label.split(":", 1)[0]
-            agg[key] = agg.get(key, 0) + s.rounds
+            agg[key] = agg.get(key, 0) + int(s.rounds)
         return agg
 
     def cut_bits(self, group_a: np.ndarray) -> int:

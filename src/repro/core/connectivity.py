@@ -35,6 +35,7 @@ from repro.core.drr import build_drr_forest, charge_forest_build, merge_forest
 from repro.core.labels import PartIndex, canonical_labels, initial_labels
 from repro.core.outgoing import select_outgoing_edges
 from repro.core.proxy import proxy_of_labels
+from repro.runtime.config import SketchConfig, resolve_sketch
 from repro.util.bits import bits_for_id
 
 __all__ = [
@@ -132,12 +133,17 @@ def connected_components_distributed(
     cluster: KMachineCluster,
     seed: int = 0,
     *,
-    repetitions: int = 6,
-    hash_family: str = "prf",
+    repetitions: int | None = None,
+    hash_family: str | None = None,
+    sketch: SketchConfig | None = None,
     max_phases: int | None = None,
     charge_shared_randomness: bool = True,
 ) -> ConnectivityResult:
     """Run the Theorem-1 algorithm on ``cluster``; charges its ledger.
+
+    This is the implementation behind the ``"connectivity"`` registry entry
+    (see :mod:`repro.runtime`); prefer ``Session.run("connectivity", ...)``
+    for new code — it adds config provenance and the RunReport envelope.
 
     Parameters
     ----------
@@ -145,16 +151,19 @@ def connected_components_distributed(
         The distributed input (graph + partition + topology + ledger).
     seed:
         Master seed of M1's shared randomness.
-    repetitions / hash_family:
-        Sketch parameters; ``'polynomial'`` gives the provable
-        Theta(log n)-wise independent construction, ``'prf'`` the fast
-        path (ablation-verified, see DESIGN.md).
+    repetitions / hash_family / sketch:
+        Sketch parameters, either as explicit kwargs or one
+        :class:`~repro.runtime.config.SketchConfig` (explicit kwargs win);
+        ``'polynomial'`` gives the provable Theta(log n)-wise independent
+        construction, ``'prf'`` the fast path (ablation-verified, see
+        DESIGN.md).
     max_phases:
         Phase budget; defaults to the Lemma-7 bound ``ceil(12 log2 n)``.
     charge_shared_randomness:
         Charge the per-phase Section-2.2 dissemination (disable only in
         ablations isolating other cost terms).
     """
+    repetitions, hash_family = resolve_sketch(sketch, repetitions, hash_family)
     n, k = cluster.n, cluster.k
     shared = SharedRandomness(master_seed=seed, n=n, k=k)
     labels = initial_labels(n)

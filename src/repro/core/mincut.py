@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cluster.cluster import KMachineCluster
 from repro.core.connectivity import connected_components_distributed
+from repro.runtime.config import SketchConfig, resolve_sketch
 from repro.util.rng import SeedStream, derive_seed
 
 __all__ = ["MinCutResult", "MinCutLevel", "mincut_approx_distributed"]
@@ -68,16 +69,27 @@ def mincut_approx_distributed(
     cluster: KMachineCluster,
     seed: int = 0,
     *,
-    repetitions: int = 6,
-    hash_family: str = "prf",
+    repetitions: int | None = None,
+    hash_family: str | None = None,
+    sketch: SketchConfig | None = None,
     max_levels: int | None = None,
+    max_phases: int | None = None,
+    charge_shared_randomness: bool = True,
 ) -> MinCutResult:
     """Run the Theorem-3 algorithm on ``cluster``; charges its ledger.
 
+    This is the implementation behind the ``"mincut"`` registry entry (see
+    :mod:`repro.runtime`); prefer ``Session.run("mincut", ...)`` for new
+    code.  Sketch parameters follow the same explicit-kwargs-over-``sketch``
+    precedence as the other core algorithms.
+
     The input is treated as unweighted (edge connectivity); weighted
     min-cut reduces to this by standard edge multiplication, which the
-    experiments do not need.
+    experiments do not need.  ``max_phases`` and
+    ``charge_shared_randomness`` apply to each internal per-level
+    connectivity test.
     """
+    repetitions, hash_family = resolve_sketch(sketch, repetitions, hash_family)
     n = cluster.n
     g = cluster.graph
     levels: list[MinCutLevel] = []
@@ -95,6 +107,8 @@ def mincut_approx_distributed(
             seed=derive_seed(seed, 0xC17, i),
             repetitions=repetitions,
             hash_family=hash_family,
+            max_phases=max_phases,
+            charge_shared_randomness=charge_shared_randomness,
         )
         cluster.ledger.merge_from(sub.ledger)
         levels.append(

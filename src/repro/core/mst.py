@@ -43,6 +43,7 @@ from repro.core.drr import build_drr_forest, charge_forest_build, merge_forest
 from repro.core.labels import PartIndex, initial_labels
 from repro.core.outgoing import OutgoingSelection, select_outgoing_edges
 from repro.core.proxy import proxies_to_parts
+from repro.runtime.config import SketchConfig, resolve_sketch
 from repro.util.bits import bits_for_id
 from repro.util.rng import derive_seed
 
@@ -106,14 +107,20 @@ def minimum_spanning_tree_distributed(
     cluster: KMachineCluster,
     seed: int = 0,
     *,
-    repetitions: int = 6,
-    hash_family: str = "prf",
+    repetitions: int | None = None,
+    hash_family: str | None = None,
+    sketch: SketchConfig | None = None,
     max_phases: int | None = None,
     strict_elimination_budget: int | None = None,
     output: str = "relaxed",
     charge_shared_randomness: bool = True,
 ) -> MSTResult:
     """Run the Theorem-2 MST algorithm on ``cluster``; charges its ledger.
+
+    This is the implementation behind the ``"mst"`` registry entry (see
+    :mod:`repro.runtime`); prefer ``Session.run("mst", ...)`` for new code.
+    Sketch parameters follow the same explicit-kwargs-over-``sketch``
+    precedence as :func:`~repro.core.connectivity.connected_components_distributed`.
 
     Parameters
     ----------
@@ -127,6 +134,7 @@ def minimum_spanning_tree_distributed(
     """
     if output not in ("relaxed", "strict"):
         raise ValueError(f"output must be 'relaxed' or 'strict', got {output!r}")
+    repetitions, hash_family = resolve_sketch(sketch, repetitions, hash_family)
     n, k = cluster.n, cluster.k
     shared = SharedRandomness(master_seed=seed, n=n, k=k)
     labels = initial_labels(n)

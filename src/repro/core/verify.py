@@ -13,6 +13,13 @@ instances are constructed with machine-local information only:
 
 Every function returns a :class:`VerificationResult` with the boolean
 answer and the rounds consumed.
+
+All functions forward their ``**kw`` to the connectivity core, so they
+accept the same sketch vocabulary — explicit ``repetitions`` /
+``hash_family`` kwargs or one ``sketch=SketchConfig(...)``.  The
+input-free problems (bipartiteness, cycle containment, s-t connectivity)
+are also runnable through the ``"verify"`` registry entry of
+:mod:`repro.runtime` via ``params={"problem": ...}``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,214 @@
+"""Typed run configuration with validation and the seed-precedence contract.
+
+The paper's algorithms share one knob vocabulary — sketch repetitions, the
+hash family, the phase budget, whether Section-2.2 shared-randomness
+dissemination is charged — which used to be copy-pasted as keyword
+arguments across ``core/connectivity.py``, ``core/mst.py``,
+``core/mincut.py`` and ``core/verify.py``.  This module centralizes that
+vocabulary as frozen dataclasses:
+
+* :class:`SketchConfig` — the l0-sampling sketch parameters,
+* :class:`ClusterConfig` — how the input graph is distributed,
+* :class:`RunConfig` — everything one run needs, including the seed and
+  algorithm-specific extras (``params``).
+
+Seed precedence (highest -> lowest)
+-----------------------------------
+1. per-run seed — ``Session.run(..., seed=...)`` / ``spec.run(..., seed=...)``
+2. config seed — ``RunConfig.seed``
+3. default — ``DEFAULT_SEED`` (0)
+
+:func:`resolve_seed` implements this order; every runtime entry point goes
+through it, and the resolved value is recorded in the
+:class:`~repro.runtime.report.RunReport` so a run is always replayable from
+its own envelope.  (The pattern follows the determinism policies of
+seeded-generator tooling: a run must be byte-reproducible from its recorded
+configuration alone.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ClusterConfig",
+    "RunConfig",
+    "SketchConfig",
+    "resolve_seed",
+    "resolve_sketch",
+]
+
+#: Lowest-precedence seed, used when neither the call nor the config sets one.
+DEFAULT_SEED = 0
+
+#: Accepted sketch hash families (see DESIGN.md, substitution table).
+HASH_FAMILIES = ("prf", "polynomial")
+
+
+class ConfigError(ValueError):
+    """A configuration field failed validation."""
+
+
+def resolve_seed(run_seed: int | None, config_seed: int | None) -> int:
+    """Apply the documented precedence: per-run seed -> config seed -> default."""
+    if run_seed is not None:
+        return int(run_seed)
+    if config_seed is not None:
+        return int(config_seed)
+    return DEFAULT_SEED
+
+
+def resolve_sketch(
+    sketch: "SketchConfig | None",
+    repetitions: int | None,
+    hash_family: str | None,
+) -> tuple[int, str]:
+    """Resolve sketch parameters for the legacy free functions.
+
+    Explicit keyword arguments win over ``sketch``; ``sketch`` wins over the
+    package defaults.  This is the shim that lets the core algorithms accept
+    either calling style without duplicating defaults.
+    """
+    base = sketch if sketch is not None else SketchConfig()
+    reps = base.repetitions if repetitions is None else int(repetitions)
+    fam = base.hash_family if hash_family is None else hash_family
+    if reps < 1:
+        raise ConfigError(f"repetitions must be >= 1, got {reps}")
+    if fam not in HASH_FAMILIES:
+        raise ConfigError(f"hash_family must be one of {HASH_FAMILIES}, got {fam!r}")
+    return reps, fam
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Parameters of the l0-sampling linear sketches (Section 2.3).
+
+    Attributes
+    ----------
+    repetitions:
+        Independent sketch repetitions per (component, phase); each has a
+        constant success probability, so the per-phase failure probability
+        decays geometrically.
+    hash_family:
+        ``'polynomial'`` is the provable Theta(log n)-wise independent
+        construction; ``'prf'`` the ablation-verified fast path.
+    """
+
+    repetitions: int = 6
+    hash_family: str = "prf"
+
+    def validate(self) -> "SketchConfig":
+        """Raise :class:`ConfigError` on invalid fields; return self."""
+        if not isinstance(self.repetitions, int) or self.repetitions < 1:
+            raise ConfigError(f"repetitions must be a positive int, got {self.repetitions!r}")
+        if self.hash_family not in HASH_FAMILIES:
+            raise ConfigError(
+                f"hash_family must be one of {HASH_FAMILIES}, got {self.hash_family!r}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """How the input graph is distributed over the simulated machines.
+
+    Attributes
+    ----------
+    k:
+        Number of machines (>= 2).
+    bandwidth_multiplier:
+        Scales the per-link O(polylog n) bandwidth.
+    bandwidth_bits:
+        Pins the per-link bandwidth to an absolute value, overriding the
+        polylog-of-n default — required when sweeping n with B held fixed
+        (otherwise B = polylog(n) mixes a log^2 n factor into measured
+        exponents; see ``bench_connectivity_scaling``).
+    partition_seed:
+        Seed of the shared vertex-partition hash.  ``None`` (default) means
+        "use the run's resolved seed", which matches the historical idiom
+        ``KMachineCluster.create(g, k, seed)`` + ``algorithm(cluster, seed)``.
+    """
+
+    k: int = 8
+    bandwidth_multiplier: int = 64
+    bandwidth_bits: int | None = None
+    partition_seed: int | None = None
+
+    def validate(self) -> "ClusterConfig":
+        """Raise :class:`ConfigError` on invalid fields; return self."""
+        if not isinstance(self.k, int) or self.k < 2:
+            raise ConfigError(f"k must be an int >= 2, got {self.k!r}")
+        if not isinstance(self.bandwidth_multiplier, int) or self.bandwidth_multiplier < 1:
+            raise ConfigError(
+                f"bandwidth_multiplier must be a positive int, got {self.bandwidth_multiplier!r}"
+            )
+        if self.bandwidth_bits is not None and (
+            not isinstance(self.bandwidth_bits, int) or self.bandwidth_bits < 1
+        ):
+            raise ConfigError(
+                f"bandwidth_bits must be a positive int or None, got {self.bandwidth_bits!r}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything one algorithm run needs, serializable for provenance.
+
+    Attributes
+    ----------
+    seed:
+        Config-level seed (middle precedence; see module docstring).
+    sketch / cluster:
+        The nested typed sections.
+    max_phases:
+        Phase budget override (``None``: the Lemma-7 default).
+    charge_shared_randomness:
+        Charge the per-phase Section-2.2 dissemination (disable only in
+        ablations isolating other cost terms).
+    params:
+        Algorithm-specific extras, e.g. ``{"output": "strict"}`` for MST or
+        ``{"problem": "st_connectivity", "s": 0, "t": 7}`` for verification.
+        Must be JSON-serializable.
+    """
+
+    seed: int | None = None
+    sketch: SketchConfig = field(default_factory=SketchConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    max_phases: int | None = None
+    charge_shared_randomness: bool = True
+    params: dict = field(default_factory=dict)
+
+    def validate(self) -> "RunConfig":
+        """Validate every section; raise :class:`ConfigError` on the first failure."""
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ConfigError(f"seed must be an int or None, got {self.seed!r}")
+        if self.max_phases is not None and (
+            not isinstance(self.max_phases, int) or self.max_phases < 1
+        ):
+            raise ConfigError(f"max_phases must be a positive int or None, got {self.max_phases!r}")
+        if not isinstance(self.params, dict):
+            raise ConfigError(f"params must be a dict, got {type(self.params).__name__}")
+        self.sketch.validate()
+        self.cluster.validate()
+        return self
+
+    # -- provenance -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain, JSON-serializable dict (nested sections included)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        d = dict(data)
+        sketch = SketchConfig(**d.pop("sketch", {}))
+        cluster = ClusterConfig(**d.pop("cluster", {}))
+        return cls(sketch=sketch, cluster=cluster, **d).validate()
+
+    def with_overrides(self, **kwargs: Any) -> "RunConfig":
+        """A copy with top-level fields replaced (``dataclasses.replace``)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,222 @@
+"""The algorithm registry: one uniform ``run(cluster, config) -> RunReport``.
+
+Every algorithm in the repository — the four paper algorithms
+(connectivity, MST, min-cut, verification) and the analytic baselines
+(flooding, referee, no-sketch Boruvka, REP) — registers an *adapter* under
+a stable name via :func:`register_algorithm`.  An adapter maps the uniform
+``(cluster, config, seed)`` calling convention onto the underlying free
+function and returns a JSON-safe payload; the registry wraps it in the
+:class:`~repro.runtime.report.RunReport` envelope with ledger accounting,
+wall time, and config provenance.
+
+Discoverability::
+
+    >>> from repro.runtime import list_algorithms, get_algorithm
+    >>> sorted(list_algorithms())        # doctest: +ELLIPSIS
+    ['boruvka_nosketch', 'connectivity', ...]
+    >>> get_algorithm("connectivity").run(cluster)   # doctest: +SKIP
+    RunReport(...)
+
+Built-in adapters live in :mod:`repro.runtime.algorithms`, imported lazily
+on first registry access so that ``repro.core`` modules may import
+:mod:`repro.runtime.config` without a cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.runtime.config import ConfigError, RunConfig, resolve_seed
+from repro.runtime.report import RunReport, jsonify, ledger_totals
+
+__all__ = [
+    "AlgorithmSpec",
+    "GraphContext",
+    "RunnerOutput",
+    "get_algorithm",
+    "list_algorithms",
+    "register_algorithm",
+    "run_algorithm",
+]
+
+_REGISTRY: dict[str, "AlgorithmSpec"] = {}
+
+
+@dataclass(frozen=True)
+class GraphContext:
+    """Lightweight run target for ``graph_only`` algorithms.
+
+    Algorithms like the REP baseline scatter the input over their *own*
+    internal machines, so building (and caching) a vertex-partitioned
+    cluster for them would be pure waste; they only need the graph and k.
+    Duck-compatible with the slice of :class:`KMachineCluster` the registry
+    envelope reads (``graph`` / ``n`` / ``m`` / ``k``).
+    """
+
+    graph: object
+    k: int
+
+    @property
+    def n(self) -> int:
+        return self.graph.n  # type: ignore[attr-defined]
+
+    @property
+    def m(self) -> int:
+        return self.graph.m  # type: ignore[attr-defined]
+
+
+@dataclass
+class RunnerOutput:
+    """What an adapter returns to the registry.
+
+    Attributes
+    ----------
+    result:
+        Algorithm-specific payload; must be JSON-safe after
+        :func:`~repro.runtime.report.jsonify`.
+    phase_stats:
+        Per-phase diagnostics as plain dicts (may be empty).
+    ledger:
+        Optional override of the envelope's ledger section, for adapters
+        (e.g. the REP baseline) whose algorithm builds its own internal
+        cluster rather than charging the caller's ledger.
+    """
+
+    result: dict
+    phase_stats: list = field(default_factory=list)
+    ledger: dict | None = None
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A registered algorithm: metadata plus the uniform run entry point."""
+
+    name: str
+    summary: str
+    kind: str  # 'paper' | 'baseline'
+    requires_weights: bool
+    runner: Callable[..., RunnerOutput]
+    graph_only: bool = False
+
+    def run(
+        self,
+        cluster,
+        config: RunConfig | None = None,
+        *,
+        seed: int | None = None,
+    ) -> RunReport:
+        """Run on ``cluster`` and wrap the outcome in a :class:`RunReport`.
+
+        ``seed`` (per-run) takes precedence over ``config.seed`` which takes
+        precedence over the package default — the documented contract.
+        Ledger totals cover only the steps this run charged, so running on
+        a cluster with prior history reports the run's own cost.  A
+        ``graph_only`` algorithm also accepts a :class:`GraphContext`.
+        """
+        cfg = (config if config is not None else RunConfig()).validate()
+        resolved = resolve_seed(seed, cfg.seed)
+        if self.requires_weights and not cluster.graph.weighted:
+            raise ConfigError(
+                f"algorithm {self.name!r} requires a weighted graph; "
+                "apply generators.with_unique_weights() or supply weights"
+            )
+        own_ledger = getattr(cluster, "ledger", None)
+        steps_before = len(own_ledger.steps) if own_ledger is not None else 0
+        received_before = own_ledger.received_bits.copy() if own_ledger is not None else None
+        t0 = time.perf_counter()
+        out = self.runner(cluster, cfg, resolved)
+        wall = time.perf_counter() - t0
+        if out.ledger is not None:
+            ledger = out.ledger
+        elif own_ledger is not None:
+            ledger = ledger_totals(
+                own_ledger, steps_offset=steps_before, received_before=received_before
+            )
+        else:
+            raise RuntimeError(
+                f"graph-only algorithm {self.name!r} must return ledger totals"
+            )
+        return RunReport(
+            algorithm=self.name,
+            seed=resolved,
+            config=cfg.to_dict(),
+            graph={
+                "n": int(cluster.n),
+                "m": int(cluster.m),
+                "k": int(cluster.k),
+                "weighted": bool(cluster.graph.weighted),
+            },
+            result=jsonify(out.result),
+            ledger=jsonify(ledger),
+            phase_stats=jsonify(out.phase_stats),
+            wall_time_s=wall,
+        )
+
+
+def register_algorithm(
+    name: str,
+    *,
+    summary: str,
+    kind: str = "paper",
+    requires_weights: bool = False,
+    graph_only: bool = False,
+) -> Callable[[Callable[..., RunnerOutput]], Callable[..., RunnerOutput]]:
+    """Decorator: register ``fn(cluster, config, seed) -> RunnerOutput`` under ``name``.
+
+    ``graph_only`` marks algorithms that ignore the caller's cluster layout
+    (they build their own machines internally, like the REP baseline); the
+    Session then skips cluster construction and passes a
+    :class:`GraphContext`, and the adapter must return ledger totals.
+    """
+    if kind not in ("paper", "baseline"):
+        raise ValueError(f"kind must be 'paper' or 'baseline', got {kind!r}")
+
+    def decorate(fn: Callable[..., RunnerOutput]) -> Callable[..., RunnerOutput]:
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} is already registered")
+        _REGISTRY[name] = AlgorithmSpec(
+            name=name,
+            summary=summary,
+            kind=kind,
+            requires_weights=requires_weights,
+            runner=fn,
+            graph_only=graph_only,
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in adapters exactly once (lazy, cycle-free)."""
+    import repro.runtime.algorithms  # noqa: F401
+
+
+def list_algorithms() -> list[str]:
+    """Sorted names of every registered algorithm."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm; raise ``KeyError`` naming the options."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def run_algorithm(
+    name: str,
+    cluster,
+    config: RunConfig | None = None,
+    *,
+    seed: int | None = None,
+) -> RunReport:
+    """Convenience: ``get_algorithm(name).run(cluster, config, seed=seed)``."""
+    return get_algorithm(name).run(cluster, config, seed=seed)

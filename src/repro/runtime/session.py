@@ -1,0 +1,241 @@
+"""The :class:`Session` runner: cluster lifecycle, single runs, and sweeps.
+
+A session owns the repetitive plumbing every benchmark and example used to
+hand-roll: building a :class:`~repro.cluster.cluster.KMachineCluster` for a
+(graph, k, seed) triple, resetting ledgers between runs, dispatching to a
+registered algorithm, and collecting :class:`~repro.runtime.report.RunReport`
+envelopes.  Clusters are cached per (graph, k, partition seed, bandwidth),
+so sweeping seeds or algorithms over one input does not re-partition the
+graph each run.
+
+Single run::
+
+    session = Session(graph, config=RunConfig(seed=7, cluster=ClusterConfig(k=8)))
+    report = session.run("connectivity")
+
+Parameter sweep (grid over seeds x k x n, optionally multi-core)::
+
+    reports = session.sweep("connectivity", ks=(2, 4, 8), seeds=range(3))
+    reports = session.sweep("mst", ns=(512, 1024), graph_factory=make_graph,
+                            processes=4)
+
+``processes > 1`` distributes grid points over a
+:class:`concurrent.futures.ProcessPoolExecutor`; every worker rebuilds its
+cluster from the pickled graph, so results are identical to the sequential
+path (order and content) — only wall time differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable, Sequence
+
+from repro.cluster.cluster import KMachineCluster
+from repro.graphs.graph import Graph
+from repro.runtime.config import ClusterConfig, RunConfig, resolve_seed
+from repro.runtime.registry import GraphContext, get_algorithm
+from repro.runtime.report import RunReport
+
+__all__ = ["Session"]
+
+
+def _topology(graph: Graph, cc: ClusterConfig):
+    """The explicit topology for a pinned absolute bandwidth, else None."""
+    if cc.bandwidth_bits is None:
+        return None
+    from repro.cluster.topology import ClusterTopology
+
+    return ClusterTopology(k=cc.k, bandwidth_bits=cc.bandwidth_bits)
+
+
+def _build_cluster(graph: Graph, config: RunConfig, seed: int) -> KMachineCluster:
+    """Create the cluster a run needs, applying the partition-seed default."""
+    cc = config.cluster
+    partition_seed = cc.partition_seed if cc.partition_seed is not None else seed
+    return KMachineCluster.create(
+        graph,
+        cc.k,
+        partition_seed,
+        bandwidth_multiplier=cc.bandwidth_multiplier,
+        topology=_topology(graph, cc),
+    )
+
+
+def _sweep_worker(payload: tuple[Graph, str, dict, int]) -> RunReport:
+    """Process-pool entry point: rebuild the cluster and run one grid point."""
+    graph, algorithm, config_dict, seed = payload
+    config = RunConfig.from_dict(config_dict)
+    spec = get_algorithm(algorithm)
+    if spec.graph_only:
+        return spec.run(GraphContext(graph=graph, k=config.cluster.k), config, seed=seed)
+    return spec.run(_build_cluster(graph, config, seed), config, seed=seed)
+
+
+class Session:
+    """Runs registered algorithms over one or more graphs (see module docstring).
+
+    Parameters
+    ----------
+    graph:
+        Default input graph; individual calls may override it.
+    config:
+        Default :class:`RunConfig`; individual calls may override it.  The
+        session never mutates it.
+    cache_size:
+        Maximum cached clusters; the oldest entry is evicted beyond this,
+        so long-lived sessions over many graphs stay bounded.
+    """
+
+    def __init__(
+        self,
+        graph: Graph | None = None,
+        *,
+        config: RunConfig | None = None,
+        cache_size: int = 32,
+    ) -> None:
+        self.graph = graph
+        self.config = (config if config is not None else RunConfig()).validate()
+        self.cache_size = max(1, int(cache_size))
+        # key -> (graph ref, cluster); the graph ref keeps id(graph) stable.
+        self._clusters: dict[tuple, tuple[Graph, KMachineCluster]] = {}
+
+    # -- cluster lifecycle -------------------------------------------------
+
+    def cluster_for(self, graph: Graph, cluster_config: ClusterConfig, seed: int) -> KMachineCluster:
+        """The cached cluster for (graph, k, partition seed, bandwidth).
+
+        The returned cluster's ledger is reset, so each run reports only its
+        own cost while reusing the partition and incidence arrays.
+        """
+        partition_seed = (
+            cluster_config.partition_seed if cluster_config.partition_seed is not None else seed
+        )
+        key = (
+            id(graph),
+            cluster_config.k,
+            partition_seed,
+            cluster_config.bandwidth_multiplier,
+            cluster_config.bandwidth_bits,
+        )
+        hit = self._clusters.get(key)
+        if hit is None or hit[0] is not graph:
+            cluster = KMachineCluster.create(
+                graph,
+                cluster_config.k,
+                partition_seed,
+                bandwidth_multiplier=cluster_config.bandwidth_multiplier,
+                topology=_topology(graph, cluster_config),
+            )
+            self._clusters[key] = (graph, cluster)
+            while len(self._clusters) > self.cache_size:
+                self._clusters.pop(next(iter(self._clusters)))
+        else:
+            cluster = hit[1]
+            cluster.reset_ledger()
+        return cluster
+
+    def clear_cache(self) -> None:
+        """Drop all cached clusters (e.g. after discarding their graphs)."""
+        self._clusters.clear()
+
+    # -- running -----------------------------------------------------------
+
+    def _resolve(self, graph: Graph | None, config: RunConfig | None) -> tuple[Graph, RunConfig]:
+        g = graph if graph is not None else self.graph
+        if g is None:
+            raise ValueError("no graph: pass one to the call or to Session(...)")
+        cfg = (config if config is not None else self.config).validate()
+        return g, cfg
+
+    def run(
+        self,
+        algorithm: str,
+        graph: Graph | None = None,
+        *,
+        config: RunConfig | None = None,
+        seed: int | None = None,
+    ) -> RunReport:
+        """Run one registered algorithm and return its :class:`RunReport`.
+
+        Seed precedence: ``seed`` here > ``config.seed`` > the default —
+        the resolved value seeds both the partition (unless
+        ``ClusterConfig.partition_seed`` pins it) and the algorithm.
+        """
+        g, cfg = self._resolve(graph, config)
+        resolved = resolve_seed(seed, cfg.seed)
+        spec = get_algorithm(algorithm)
+        if spec.graph_only:
+            # The algorithm builds its own machines; no cluster to cache.
+            return spec.run(GraphContext(graph=g, k=cfg.cluster.k), cfg, seed=resolved)
+        cluster = self.cluster_for(g, cfg.cluster, resolved)
+        return spec.run(cluster, cfg, seed=resolved)
+
+    def sweep(
+        self,
+        algorithm: str,
+        *,
+        seeds: Iterable[int] | None = None,
+        ks: Iterable[int] | None = None,
+        ns: Iterable[int] | None = None,
+        graph: Graph | None = None,
+        graph_factory: Callable[[int], Graph] | None = None,
+        config: RunConfig | None = None,
+        processes: int | None = None,
+    ) -> list[RunReport]:
+        """Run ``algorithm`` over the grid ``ns x ks x seeds``; return all reports.
+
+        Parameters
+        ----------
+        seeds / ks:
+            Values to sweep; each defaults to the single configured value.
+        ns:
+            Graph sizes; requires ``graph_factory(n) -> Graph``.  Omitted:
+            the fixed ``graph`` (or the session default) is used.
+        processes:
+            ``None`` or ``1`` runs sequentially in-process; ``> 1`` fans the
+            grid out over a process pool.  Report order always matches the
+            grid order (n-major, then k, then seed).
+
+        Every grid point gets a fresh ledger; with a fixed graph the cluster
+        cache is reused across seeds sharing a (k, partition seed).
+        """
+        if ns is not None and graph_factory is None:
+            raise ValueError("sweeping ns requires graph_factory(n) -> Graph")
+        base_cfg = (config if config is not None else self.config).validate()
+        seed_list = [resolve_seed(None, base_cfg.seed)] if seeds is None else [int(s) for s in seeds]
+        k_list = [base_cfg.cluster.k] if ks is None else [int(k) for k in ks]
+
+        if ns is None:
+            g, _ = self._resolve(graph, base_cfg)
+            graphs: list[tuple[int | None, Graph]] = [(None, g)]
+        else:
+            graphs = [(int(n), graph_factory(int(n))) for n in ns]
+
+        jobs: list[tuple[Graph, RunConfig, int]] = []
+        for _, g in graphs:
+            for k in k_list:
+                cfg = base_cfg.with_overrides(cluster=replace(base_cfg.cluster, k=k))
+                for s in seed_list:
+                    jobs.append((g, cfg, s))
+
+        if processes is not None and processes > 1:
+            import concurrent.futures
+
+            payloads = [(g, algorithm, cfg.to_dict(), s) for g, cfg, s in jobs]
+            with concurrent.futures.ProcessPoolExecutor(max_workers=processes) as pool:
+                return list(pool.map(_sweep_worker, payloads))
+
+        # Factory-built graphs are throwaways: run them cache-less so the
+        # session does not pin one cluster per grid point forever.
+        use_cache = ns is None
+        spec = get_algorithm(algorithm)
+        reports = []
+        for g, cfg, s in jobs:
+            if spec.graph_only:
+                target = GraphContext(graph=g, k=cfg.cluster.k)
+            elif use_cache:
+                target = self.cluster_for(g, cfg.cluster, s)
+            else:
+                target = _build_cluster(g, cfg, s)
+            reports.append(spec.run(target, cfg, seed=s))
+        return reports

@@ -1,0 +1,95 @@
+"""Config dataclasses: validation, serialization, and seed precedence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import ClusterConfig, ConfigError, RunConfig, SketchConfig, resolve_seed
+from repro.runtime.config import DEFAULT_SEED, resolve_sketch
+
+
+class TestSeedPrecedence:
+    def test_per_run_seed_wins(self):
+        assert resolve_seed(11, 22) == 11
+
+    def test_config_seed_next(self):
+        assert resolve_seed(None, 22) == 22
+
+    def test_default_last(self):
+        assert resolve_seed(None, None) == DEFAULT_SEED
+
+    def test_zero_is_a_valid_per_run_seed(self):
+        # 0 must not fall through to the config seed.
+        assert resolve_seed(0, 22) == 0
+
+
+class TestResolveSketch:
+    def test_defaults(self):
+        assert resolve_sketch(None, None, None) == (6, "prf")
+
+    def test_config_overrides_defaults(self):
+        cfg = SketchConfig(repetitions=3, hash_family="polynomial")
+        assert resolve_sketch(cfg, None, None) == (3, "polynomial")
+
+    def test_explicit_kwargs_override_config(self):
+        cfg = SketchConfig(repetitions=3, hash_family="polynomial")
+        assert resolve_sketch(cfg, 9, None) == (9, "polynomial")
+        assert resolve_sketch(cfg, None, "prf") == (3, "prf")
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_sketch(None, 0, None)
+        with pytest.raises(ConfigError):
+            resolve_sketch(None, None, "md5")
+
+
+class TestValidation:
+    def test_valid_default_config(self):
+        RunConfig().validate()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            RunConfig(sketch=SketchConfig(repetitions=0)),
+            RunConfig(sketch=SketchConfig(hash_family="sha")),
+            RunConfig(cluster=ClusterConfig(k=1)),
+            RunConfig(cluster=ClusterConfig(bandwidth_multiplier=0)),
+            RunConfig(cluster=ClusterConfig(bandwidth_bits=0)),
+            RunConfig(max_phases=0),
+            RunConfig(seed="seven"),  # type: ignore[arg-type]
+            RunConfig(params=["not", "a", "dict"]),  # type: ignore[arg-type]
+        ],
+    )
+    def test_invalid_configs_raise(self, bad):
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_config_error_is_value_error(self):
+        # Callers that catch ValueError keep working.
+        assert issubclass(ConfigError, ValueError)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        cfg = RunConfig(
+            seed=5,
+            sketch=SketchConfig(repetitions=4, hash_family="polynomial"),
+            cluster=ClusterConfig(k=16, bandwidth_multiplier=32, partition_seed=9),
+            max_phases=20,
+            charge_shared_randomness=False,
+            params={"output": "strict"},
+        )
+        assert RunConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ConfigError):
+            RunConfig.from_dict({"cluster": {"k": 1}})
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError):
+            RunConfig.from_dict({"sketchy": True})
+
+    def test_with_overrides(self):
+        cfg = RunConfig(seed=1)
+        assert cfg.with_overrides(seed=2).seed == 2
+        assert cfg.seed == 1  # frozen original untouched
