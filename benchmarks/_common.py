@@ -1,18 +1,26 @@
 """Shared infrastructure for the benchmark harness.
 
 Every bench regenerates one experiment row/series from DESIGN.md's index
-(a theorem, lemma, or figure of the paper).  Because the quantity of
-interest is usually *simulated rounds* rather than wall time, each bench:
+(a theorem, lemma, or figure of the paper).  The scenario grids and cell
+runners live in the :mod:`repro.bench` registry; each ``bench_*.py`` here
+is a thin pytest-benchmark wrapper that
 
-1. runs its sweep once inside ``benchmark.pedantic`` (wall time recorded
-   as a by-product),
-2. renders the same table EXPERIMENTS.md quotes, and
-3. writes it to ``benchmarks/results/<name>.txt`` (and stdout) so results
-   survive pytest's output capture.
+1. executes the registered benchmark's full-tier grid once inside
+   ``benchmark.pedantic`` (wall time recorded as a by-product),
+2. writes the machine-readable ``BENCH_<name>.json`` envelope under
+   ``benchmarks/results/``,
+3. renders the same table EXPERIMENTS.md quotes into
+   ``benchmarks/results/<name>.txt`` (and stdout), and
+4. asserts the paper's qualitative claims on the recorded metrics.
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+CI runs the same grids at the quick tier via
+``python -m repro bench run --quick --all`` and gates them with
+``python -m repro bench compare`` (see DESIGN.md, "Benchmarks & perf
+gating").
 """
 
 from __future__ import annotations
@@ -27,36 +35,7 @@ if str(_SRC) not in sys.path:
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-__all__ = ["RESULTS_DIR", "report", "once", "session_for", "work_rounds"]
-
-
-def work_rounds(ledger) -> int:
-    """Rounds minus the one-round-per-step floor.
-
-    Every bulk step costs at least one round when any traffic crosses a
-    link; with O(log^2 n) steps per run this additive term is the
-    "+ polylog(n)" of the paper's O~ notation.  Subtracting it isolates
-    the bandwidth-bound work term that the n/k^2 factor governs.
-    Delegates to ``RoundLedger.totals()`` — the same quantity RunReport
-    envelopes carry as ``report.work_rounds`` — so the definition lives in
-    exactly one place; kept for benches that hold a raw ledger.
-    """
-    return ledger.totals()["work_rounds"]
-
-
-def session_for(graph=None, *, seed, k=8, bandwidth_bits=None):
-    """A :class:`repro.runtime.Session` with the bench's (seed, k, B) pinned.
-
-    Benches sweep via ``session.sweep(algo, ks=..., ns=...)`` and read
-    rounds / work_rounds / bits off the returned RunReport envelopes
-    instead of hand-building clusters and poking ledgers.
-    """
-    from repro.runtime import ClusterConfig, RunConfig, Session
-
-    config = RunConfig(
-        seed=seed, cluster=ClusterConfig(k=k, bandwidth_bits=bandwidth_bits)
-    )
-    return Session(graph, config=config)
+__all__ = ["RESULTS_DIR", "once", "report", "run_registered"]
 
 
 def report(name: str, text: str) -> None:
@@ -69,3 +48,18 @@ def report(name: str, text: str) -> None:
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark; return its result."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_registered(benchmark, name: str, tier: str = "full"):
+    """Run registered benchmark ``name`` once under pytest-benchmark.
+
+    Writes the ``BENCH_<name>.json`` envelope under ``benchmarks/results/``
+    and returns the :class:`repro.bench.BenchResult`, so the wrapper can
+    assert the paper's claims on the recorded cells.
+    """
+    from repro.bench import run_benchmark
+
+    result = once(benchmark, lambda: run_benchmark(name, tier=tier))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    result.write(RESULTS_DIR)
+    return result

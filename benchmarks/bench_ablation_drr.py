@@ -1,57 +1,35 @@
 """AB-4 — DRR vs naive merge-along-every-edge.
 
-Without DRR, merging every component into the component its sampled edge
-points to creates pointer chains whose depth can reach Theta(n) (a ring of
-components yields one giant cycle/chain); merging then needs that many
-sequential relabel iterations.  DRR's random ranks cap the depth at
-O(log n) w.h.p. (Lemma 6).  This ablation measures both depths on the
-adversarial ring topology.
+Thin wrapper over the registered ``ablation_drr_vs_naive`` grid (see
+``repro.bench.suites.ablations``): without DRR, merging every component
+into the component its sampled edge points to creates pointer chains whose
+depth can reach Theta(n) (a ring of components yields one giant
+cycle/chain); DRR's random ranks cap the depth at O(log n) w.h.p.
+(Lemma 6).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.util.rng import SeedStream
-
-
-def _naive_chain_depth(n: int) -> int:
-    """Depth of the pointer structure when every component attaches to its
-    successor unconditionally (ring -> one n-cycle; breaking it at an
-    arbitrary root yields an (n-1)-deep chain)."""
-    return n - 1
-
-
-def _drr_depth(n: int, seed: int) -> int:
-    ranks = SeedStream(seed).keyed_u64(np.arange(n, dtype=np.uint64))
-    nxt = (np.arange(n) + 1) % n
-    parent = np.where(ranks[nxt] > ranks, nxt, -1)
-    # Depth via processing in decreasing rank order.
-    depth = np.zeros(n, dtype=np.int64)
-    order = np.argsort(ranks)[::-1]
-    for c in order:
-        p = parent[c]
-        if p >= 0:
-            depth[c] = depth[p] + 1
-    return int(depth.max())
 
 
 def test_drr_vs_naive_depth(benchmark):
-    ns = (1024, 8192, 65536)
-
-    def sweep():
-        rows = []
-        for n in ns:
-            drr = max(_drr_depth(n, 100 + s) for s in range(8))
-            naive = _naive_chain_depth(n)
-            rows.append((n, drr, naive, naive / drr))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "ablation_drr_vs_naive")
+    n_seeds = result.cells[0].params["n_seeds"]
+    rows = [
+        (
+            c.params["n"],
+            c.metrics["drr_max_depth"],
+            c.metrics["naive_depth"],
+            c.metrics["naive_over_drr"],
+        )
+        for c in result.cells
+    ]
     table = format_table(
-        ["components", "DRR max depth (8 seeds)", "naive chain depth", "naive/DRR"],
+        ["components", f"DRR max depth ({n_seeds} seeds)", "naive chain depth", "naive/DRR"],
         rows,
         title="Ablation 4 - merge-structure depth: DRR vs naive chaining (ring topology)",
     )

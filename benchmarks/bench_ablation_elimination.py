@@ -1,50 +1,37 @@
 """AB-6 — MST edge-elimination budget t.
 
-Section 3.1 repeats the eliminate-and-resample step t = Theta(log n)
-times so the selected edge is the true MWOE w.h.p.; too small a budget
-yields spanning trees that are not minimum.  This ablation sweeps the
-fixed budget and reports the weight error vs the exact MST, plus the
-certified fixpoint mode (our default) as the reference point.
+Thin wrapper over the registered ``ablation_elimination_budget`` grid (see
+``repro.bench.suites.ablations``): Section 3.1 repeats the
+eliminate-and-resample step t = Theta(log n) times so the selected edge is
+the true MWOE w.h.p.; too small a budget yields spanning trees that are
+not minimum.  The grid sweeps the fixed budget and reports the weight
+error vs the exact MST, plus the certified fixpoint mode (our default) as
+the reference point.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks._common import once, report
-from repro import KMachineCluster, generators, minimum_spanning_tree_distributed
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.graphs import reference as ref
 
 
 def test_elimination_budget(benchmark):
-    n = 512
-    g = generators.with_unique_weights(generators.gnm_random(n, 6 * n, seed=31), seed=31)
-    opt = ref.mst_weight(g, ref.kruskal_mst(g))
-
-    def sweep():
-        rows = []
-        for budget in (1, 2, 4, 8, 16):
-            errors = []
-            for seed in range(3):
-                cl = KMachineCluster.create(g, k=8, seed=seed)
-                res = minimum_spanning_tree_distributed(
-                    cl, seed=seed, strict_elimination_budget=budget
-                )
-                assert res.n_edges == n - 1, "must always span"
-                errors.append((res.total_weight - opt) / opt)
-            rows.append((str(budget), float(np.mean(errors)), float(np.max(errors))))
-        # The certified fixpoint mode (paper's w.h.p. guarantee, verified).
-        cl = KMachineCluster.create(g, k=8, seed=0)
-        res = minimum_spanning_tree_distributed(cl, seed=0)
-        rows.append(("fixpoint", (res.total_weight - opt) / opt, 0.0))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "ablation_elimination_budget")
+    assert all(c.metrics["always_spans"] for c in result.cells), "must always span"
+    rows = [
+        (
+            str(c.params["budget"]),
+            c.metrics["mean_weight_error"],
+            c.metrics["max_weight_error"],
+        )
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
+    k = result.cells[0].params["k"]
     table = format_table(
         ["elimination budget t", "mean weight error", "max weight error"],
         rows,
-        title=f"Ablation 6 - MST quality vs elimination budget (n={n}, m={6*n}, k=8)",
+        title=f"Ablation 6 - MST quality vs elimination budget (n={n}, m={6*n}, k={k})",
     )
     table += "\npaper: t = Theta(log n) eliminations give the exact MWOE w.h.p."
     report("AB6_elimination", table)

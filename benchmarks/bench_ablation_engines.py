@@ -1,80 +1,35 @@
 """AB-1 — bulk step accounting vs the exact per-round mailbox engine.
 
-The ledger computes rounds analytically (ceil(max link load / B)); the
-mailbox engine executes message queues with bandwidth enforcement.  On the
-same flooding workload both must agree within a small constant — the
-cross-validation that justifies using the fast bulk accounting everywhere.
+Thin wrapper over the registered ``ablation_engines`` grid (see
+``repro.bench.suites.ablations``): the ledger computes rounds analytically
+(ceil(max link load / B)); the mailbox engine executes message queues with
+bandwidth enforcement.  On the same flooding workload both must agree
+within a small constant — the cross-validation that justifies using the
+fast bulk accounting everywhere.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks._common import once, report
-from repro import KMachineCluster, generators
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.baselines import flooding_connectivity
-from repro.cluster.engine import Envelope, SyncEngine
-
-
-def _engine_flooding_rounds(g, cl):
-    home = cl.partition.home
-    label_bits = max(1, int(np.ceil(np.log2(g.n))))
-
-    class FloodProgram:
-        def __init__(self) -> None:
-            self.labels = np.arange(g.n, dtype=np.int64)
-            self.started = False
-
-        def on_round(self, machine, round_no, inbox):
-            updated: set[int] = set()
-            if not self.started:
-                self.started = True
-                updated = {int(v) for v in np.nonzero(home == machine)[0]}
-            for env in inbox:
-                v, lab = env.payload
-                if lab < self.labels[v]:
-                    self.labels[v] = lab
-                    updated.add(v)
-            outs = []
-            for v in updated:
-                for w in g.neighbors(v):
-                    outs.append(
-                        Envelope(machine, int(home[int(w)]), label_bits, (int(w), int(self.labels[v])))
-                    )
-            return outs
-
-        def is_done(self, machine):
-            return True
-
-    engine = SyncEngine(cl.topology)
-    result = engine.run([FloodProgram() for _ in range(cl.k)], max_rounds=100_000)
-    assert result.terminated
-    return result.rounds
 
 
 def test_engines_agree(benchmark):
-    workloads = [
-        ("gnm n=256 m=1024", generators.gnm_random(256, 1024, seed=21)),
-        ("path n=256", generators.path_graph(256)),
-        ("star n=256", generators.star_graph(256)),
+    result = run_registered(benchmark, "ablation_engines")
+    rows = [
+        (
+            f"{c.params['workload']} n={c.params['n']}",
+            c.metrics["bulk_rounds"],
+            c.metrics["engine_rounds"],
+            c.metrics["ratio"],
+        )
+        for c in result.cells
     ]
-
-    def sweep():
-        rows = []
-        for name, g in workloads:
-            cl = KMachineCluster.create(g, k=4, seed=21)
-            bulk = flooding_connectivity(cl).rounds
-            cl2 = KMachineCluster.create(g, k=4, seed=21)
-            exact = _engine_flooding_rounds(g, cl2)
-            rows.append((name, bulk, exact, exact / bulk))
-        return rows
-
-    rows = once(benchmark, sweep)
+    k = result.cells[0].params["k"]
     table = format_table(
         ["workload", "bulk-ledger rounds", "mailbox-engine rounds", "ratio"],
         rows,
-        title="Ablation 1 - bulk accounting vs exact engine (flooding, k=4)",
+        title=f"Ablation 1 - bulk accounting vs exact engine (flooding, k={k})",
     )
     table += "\nbulk accounting = optimal schedule; engine adds queueing: ratio in [1, ~4]"
     report("AB1_engines", table)

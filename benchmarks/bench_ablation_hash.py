@@ -1,49 +1,39 @@
 """AB-5 — provable k-wise polynomial hashing vs the SplitMix64 PRF fast path.
 
-DESIGN.md's documented substitution: the polynomial family is the paper's
-construction ([4, 5, 10]); the PRF is ~an order of magnitude faster and
-must produce identical algorithm *outcomes* (same components; rounds may
-differ slightly since the sampled edges differ).  This ablation verifies
-outcome equivalence and quantifies the speed gap.
+Thin wrapper over the registered ``ablation_hash_family`` grid (see
+``repro.bench.suites.ablations``).  DESIGN.md's documented substitution:
+the polynomial family is the paper's construction ([4, 5, 10]); the PRF
+is ~an order of magnitude faster and must produce identical algorithm
+*outcomes* (same components; rounds may differ slightly since the sampled
+edges differ).  The harness times each cell, so the speed gap is read off
+the per-cell wall times.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from benchmarks._common import once, report
-from repro import KMachineCluster, connected_components_distributed, generators
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.graphs import reference as ref
 
 
 def test_hash_families_equivalent(benchmark):
-    n = 1024
-    g = generators.gnm_random(n, 4 * n, seed=29)
-    truth = ref.connected_components(g)
-
-    def sweep():
-        rows = []
-        for family in ("prf", "polynomial"):
-            t0 = time.perf_counter()
-            cl = KMachineCluster.create(g, k=8, seed=29)
-            res = connected_components_distributed(cl, seed=29, hash_family=family)
-            wall = time.perf_counter() - t0
-            correct = bool(np.array_equal(res.canonical(), truth))
-            rows.append((family, correct, res.phases, res.rounds, wall))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "ablation_hash_family")
+    cells = {c.params["family"]: c for c in result.cells}
+    prf, poly = cells["prf"], cells["polynomial"]
+    rows = [
+        (fam, c.metrics["correct"], c.metrics["phases"], c.metrics["rounds"], c.wall_time_s)
+        for fam, c in (("prf", prf), ("polynomial", poly))
+    ]
+    n = prf.params["n"]
+    k = prf.params["k"]
     table = format_table(
         ["hash family", "correct", "phases", "rounds", "wall seconds"],
         rows,
-        title=f"Ablation 5 - sketch hash family (n={n}, m={4*n}, k=8)",
+        title=f"Ablation 5 - sketch hash family (n={n}, m={4*n}, k={k})",
     )
-    prf_t = rows[0][4]
-    poly_t = rows[1][4]
-    table += f"\nPRF speedup over polynomial: {poly_t / prf_t:.1f}x (identical answers)"
+    table += (
+        f"\nPRF speedup over polynomial: {poly.wall_time_s / prf.wall_time_s:.1f}x"
+        " (identical answers)"
+    )
     report("AB5_hash_family", table)
     assert all(r[1] for r in rows), "both families must produce correct components"
-    assert poly_t > prf_t, "the polynomial family costs more wall time"
+    assert poly.wall_time_s > prf.wall_time_s, "the polynomial family costs more wall time"

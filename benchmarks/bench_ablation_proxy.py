@@ -1,71 +1,37 @@
 """AB-3 — random proxies vs fixed leader-home aggregation.
 
-Lemma 1's point: routing every component's traffic through a *random*
-proxy machine (fresh per iteration) spreads load uniformly; aggregating at
-a fixed machine (or at the home machine of a skewed component's leader)
-congests it.  This ablation constructs a skewed component structure — one
-giant component whose parts all talk every phase — and compares the
-maximum per-machine receive volume under the two policies.
+Thin wrapper over the registered ``ablation_proxy_congestion`` grid (see
+``repro.bench.suites.ablations``): routing every component's traffic
+through a *random* proxy machine (fresh per iteration) spreads load
+uniformly; aggregating at a fixed machine congests it.  The grid
+constructs a skewed component structure — one giant component whose parts
+all talk every phase — and compares the maximum per-machine receive
+volume under the two policies.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks._common import once, report
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.cluster import ClusterTopology, RoundLedger
-from repro.cluster.comm import CommStep
-from repro.core.proxy import proxy_of_labels
-from repro.util.rng import SeedStream
-
-K = 16
-BITS = 1  # measure in messages
-
-
-def _max_receive(policy: str, n_parts: int, n_iterations: int) -> int:
-    """Max per-machine cumulative receive volume over the iterations.
-
-    ``policy='proxy'`` draws a fresh random destination per (component,
-    iteration) — the paper's h_{j, rho}; ``policy='fixed'`` keeps the
-    iteration-0 draw forever (leader-style aggregation).  Both start from
-    the *same* initial assignment, so the comparison isolates exactly the
-    re-randomization: fixed destinations freeze the initial skew, fresh
-    ones average it away.
-    """
-    topo = ClusterTopology(k=K, bandwidth_bits=1)
-    led = RoundLedger(topo)
-    labels = np.arange(n_parts, dtype=np.int64) % 64  # 64 components
-    part_machine = np.arange(n_parts, dtype=np.int64) % K
-    fixed_dest = proxy_of_labels(SeedStream(0xF1), labels, K)
-    for it in range(n_iterations):
-        if policy == "proxy" and it > 0:
-            dest = proxy_of_labels(SeedStream(0xF1 + it), labels, K)
-        else:
-            dest = fixed_dest
-        step = CommStep(led, f"{policy}:{it}")
-        step.add(part_machine, dest, BITS)
-        step.deliver()
-    return int(led.received_bits.max())
 
 
 def test_proxy_vs_fixed_congestion(benchmark):
-    n_parts = 8192
-
-    def sweep():
-        rows = []
-        for iters in (1, 4, 16, 64):
-            proxy = _max_receive("proxy", n_parts, iters)
-            fixed = _max_receive("fixed", n_parts, iters)
-            ideal = n_parts * iters / K
-            rows.append((iters, proxy, fixed, proxy / ideal, fixed / ideal))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "ablation_proxy_congestion")
+    rows = [
+        (
+            c.params["iterations"],
+            c.metrics["proxy_max_recv"],
+            c.metrics["fixed_max_recv"],
+            c.metrics["proxy_over_ideal"],
+            c.metrics["fixed_over_ideal"],
+        )
+        for c in result.cells
+    ]
+    k = result.cells[0].params["k"]
     table = format_table(
         ["iterations", "fresh-proxy max recv", "fixed max recv", "proxy/ideal", "fixed/ideal"],
         rows,
-        title=f"Ablation 3 - receive congestion: fresh proxies vs fixed destinations (k={K})",
+        title=f"Ablation 3 - receive congestion: fresh proxies vs fixed destinations (k={k})",
     )
     table += (
         "\npaper (Lemma 1 / Lemma 5): a fresh h_{j, rho} per iteration keeps every"

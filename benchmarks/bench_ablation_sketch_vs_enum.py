@@ -1,49 +1,40 @@
 """AB-2 — linear sketches vs explicit edge enumeration.
 
-The design choice at the heart of the paper: sketches compress a part's
-entire neighborhood into O(polylog n) bits, so per-phase traffic is
-O~(#parts) regardless of how many edges the parts touch.  Enumeration
-(the no-sketch baseline's label-sync) ships Theta(m) messages per phase.
-This ablation sweeps edge density at fixed n and reports total
-communication volume for both.
+Thin wrapper over the registered ``ablation_sketch_vs_enum`` grid (see
+``repro.bench.suites.ablations``): sketches compress a part's entire
+neighborhood into O(polylog n) bits, so per-phase traffic is O~(#parts)
+regardless of how many edges the parts touch, while enumeration (the
+no-sketch baseline's label-sync) ships Theta(m) messages per phase.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report
-from repro import KMachineCluster, connected_components_distributed, generators
+from benchmarks._common import report, run_registered
 from repro.analysis import fit_power_law, format_table
-from repro.baselines import boruvka_nosketch
-
-N, K = 1024, 8
 
 
 def test_bits_vs_density(benchmark):
-    densities = (4, 16, 64, 256)
-
-    def sweep():
-        rows = []
-        for d in densities:
-            g = generators.gnm_random(N, d * N, seed=23)
-            cl = KMachineCluster.create(g, k=K, seed=23)
-            connected_components_distributed(cl, seed=23)
-            sketch_bits = cl.ledger.total_bits
-            cl2 = KMachineCluster.create(g, k=K, seed=23)
-            boruvka_nosketch(cl2, seed=23)
-            enum_bits = cl2.ledger.total_bits
-            rows.append((d * N, sketch_bits / 1e6, enum_bits / 1e6, enum_bits / sketch_bits))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "ablation_sketch_vs_enum")
+    n = result.cells[0].params["n"]
+    k = result.cells[0].params["k"]
+    rows = [
+        (
+            c.params["density"] * n,
+            c.metrics["sketch_bits"] / 1e6,
+            c.metrics["enum_bits"] / 1e6,
+            c.metrics["enum_over_sketch"],
+        )
+        for c in result.cells
+    ]
     ms = np.array([r[0] for r in rows], dtype=float)
     fit_sketch = fit_power_law(ms, np.array([r[1] for r in rows]))
     fit_enum = fit_power_law(ms, np.array([r[2] for r in rows]))
     table = format_table(
         ["m", "sketch Mbit", "enumeration Mbit", "enum/sketch"],
         rows,
-        title=f"Ablation 2 - total communication vs edge density (n={N}, k={K})",
+        title=f"Ablation 2 - total communication vs edge density (n={n}, k={k})",
     )
     # Where the fitted laws cross: the density beyond which sketches win.
     crossover_m = (fit_sketch.constant / fit_enum.constant) ** (
@@ -53,7 +44,7 @@ def test_bits_vs_density(benchmark):
         f"\nfit: sketch bits ~ m^{fit_sketch.exponent:.2f},"
         f" enumeration bits ~ m^{fit_enum.exponent:.2f};"
         f" extrapolated crossover at m ~ {crossover_m:.3g}"
-        f" (average degree ~ {2 * crossover_m / N:.0f} = polylog(n) as the O~ predicts)"
+        f" (average degree ~ {2 * crossover_m / n:.0f} = polylog(n) as the O~ predicts)"
         "\npaper: sketches decouple communication from m; the polylog-size"
         " sketch constant sets the crossover density"
     )

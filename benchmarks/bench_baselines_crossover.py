@@ -1,17 +1,15 @@
 """EXP T1-b — Theorem 1 vs the warm-up baselines (Section 2).
 
-The paper's positioning, reproduced as measurements through the runtime
-API — the baselines and the sketch algorithm are just different registry
-names on one ``Session``:
+Thin wrapper over the registered ``baselines_flooding_diameter`` /
+``baselines_volume_crossover`` grids (see ``repro.bench.suites.baselines``):
 
 * flooding costs Theta(n/k + D) rounds — it loses to the sketch algorithm
   on high-diameter graphs (Table A);
 * gather-at-referee costs Theta~(m/k) rounds and Theta(m log n) bits, and
   the no-sketch Boruvka ships Theta(m log n) bits in label-sync traffic —
   both scale with m, while the sketch algorithm's communication volume is
-  Theta~(n), independent of m (Table B: the m-sweep, reporting rounds and
-  megabits; the crossover in *bits* is the quantity the Section-4 lower
-  bound actually governs).
+  Theta~(n), independent of m (Table B: the m-sweep; the crossover in
+  *bits* is the quantity the Section-4 lower bound actually governs).
 
 Absolute round constants favour baselines at simulatable scales (a sketch
 message is ~3 orders of magnitude larger than a label), so the asymptotic
@@ -21,28 +19,24 @@ k; EXPERIMENTS.md records this honestly.
 
 from __future__ import annotations
 
-from benchmarks._common import once, report, session_for
-from repro import generators
-from repro.analysis import fit_power_law, format_table
-
 import numpy as np
+
+from benchmarks._common import report, run_registered
+from repro.analysis import fit_power_law, format_table
 
 
 def test_flooding_loses_on_diameter(benchmark):
-    k = 16
-    sizes = (2048, 4096, 8192)
-
-    def sweep():
-        rows = []
-        session = session_for(seed=3, k=k)
-        for n in sizes:
-            g = generators.path_graph(n)
-            ours = session.run("connectivity", g).rounds
-            flood = session.run("flooding", g).rounds
-            rows.append((n, ours, flood, flood / ours))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "baselines_flooding_diameter")
+    rows = [
+        (
+            c.params["n"],
+            c.metrics["sketch_rounds"],
+            c.metrics["flooding_rounds"],
+            c.metrics["flooding_over_sketch"],
+        )
+        for c in result.cells
+    ]
+    k = result.cells[0].params["k"]
     table = format_table(
         ["n (path, D=n-1)", "sketch rounds", "flooding rounds", "flooding/sketch"],
         rows,
@@ -57,31 +51,21 @@ def test_flooding_loses_on_diameter(benchmark):
 
 
 def test_volume_crossover_in_m(benchmark):
-    n, k = 1024, 8
-    ms = (8 * n, 32 * n, 128 * n, 510 * n)
-
-    def sweep():
-        rows = []
-        session = session_for(seed=4, k=k)
-        for m in ms:
-            g = generators.gnm_random(n, m, seed=4)
-            ours = session.run("connectivity", g)
-            refr = session.run("referee", g)
-            nosk = session.run("boruvka_nosketch", g)
-            rows.append(
-                (
-                    m,
-                    ours.rounds,
-                    refr.rounds,
-                    nosk.rounds,
-                    ours.total_bits / 1e6,
-                    refr.total_bits / 1e6,
-                    nosk.total_bits / 1e6,
-                )
-            )
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "baselines_volume_crossover")
+    n = result.cells[0].params["n"]
+    k = result.cells[0].params["k"]
+    rows = [
+        (
+            c.params["m_mult"] * n,
+            c.metrics["sketch_rounds"],
+            c.metrics["referee_rounds"],
+            c.metrics["nosketch_rounds"],
+            c.metrics["sketch_bits"] / 1e6,
+            c.metrics["referee_bits"] / 1e6,
+            c.metrics["nosketch_bits"] / 1e6,
+        )
+        for c in result.cells
+    ]
     table = format_table(
         [
             "m",

@@ -1,46 +1,30 @@
 """EXP T1-k / T1-n — Theorem 1: connectivity runs in O~(n/k^2) rounds.
 
-Regenerates the paper's headline claims as measured series, driven through
-the unified runtime API (one ``Session``, ``sweep`` over k or n, metrics
-read off the RunReport envelopes):
+Thin wrapper over the registered ``connectivity_rounds_vs_k`` /
+``connectivity_rounds_vs_n`` grids (see ``repro.bench.suites.scaling``):
 
-* ``test_rounds_vs_k`` — fixed n, sweep k: the round count must fall
-  *superlinearly* in k (the prior best bound of Klauck et al. is O~(n/k),
-  i.e. linear speedup; Theorem 1's point is beating it).  We report both
-  raw rounds and the *work* term (raw minus the one-round-per-step floor —
-  the additive "+polylog" of the O~ notation), with power-law fits.
-* ``test_rounds_vs_n`` — fixed k and fixed bandwidth, sweep n: the work
-  term grows ~ linearly in n.  (Bandwidth is pinned via
-  ``ClusterConfig.bandwidth_bits`` across the sweep; the model's
-  B = polylog(n) would otherwise mix a log^2 n factor into the measured
-  exponent.)
+* rounds vs k at fixed n must fall *superlinearly* in k (the prior best
+  bound of Klauck et al. is O~(n/k), i.e. linear speedup; Theorem 1's
+  point is beating it), for both raw rounds and the work term (raw minus
+  the one-round-per-step floor — the additive "+polylog" of O~).
+* work rounds vs n at fixed k and fixed bandwidth grow ~ linearly in n.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report, session_for
-from repro import generators
+from benchmarks._common import report, run_registered
 from repro.analysis import fit_power_law, format_table
-from repro.util.bits import polylog_bandwidth
-
-KS = (2, 4, 8, 16, 32)
-NS = (1024, 2048, 4096, 8192)
 
 
 def test_rounds_vs_k(benchmark):
-    n = 4096
-    g = generators.gnm_random(n, 3 * n, seed=1)
-    session = session_for(g, seed=1)
-
-    def sweep():
-        return [
-            (r.graph["k"], r.rounds, r.work_rounds, r.result["phases"])
-            for r in session.sweep("connectivity", ks=KS)
-        ]
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "connectivity_rounds_vs_k")
+    rows = [
+        (c.params["k"], c.metrics["rounds"], c.metrics["work_rounds"], c.metrics["phases"])
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
     ks = np.array([r[0] for r in rows], dtype=float)
     raw = np.array([r[1] for r in rows], dtype=float)
     work = np.array([max(r[2], 1) for r in rows], dtype=float)
@@ -51,8 +35,8 @@ def test_rounds_vs_k(benchmark):
     table = format_table(
         ["k", "rounds", "work", "phases", "speedup", "speedup/linear"],
         [
-            (r[0], r[1], r[2], r[3], float(s), float(s / l))
-            for r, s, l in zip(rows, speedup, linear)
+            (r[0], r[1], r[2], r[3], float(s), float(s / lin))
+            for r, s, lin in zip(rows, speedup, linear)
         ],
         title=f"Theorem 1 - connectivity rounds vs k (n={n}, m={3*n})",
     )
@@ -71,21 +55,13 @@ def test_rounds_vs_k(benchmark):
 
 
 def test_rounds_vs_n(benchmark):
-    k = 8
-    bw = polylog_bandwidth(max(NS))
-    session = session_for(seed=2, k=k, bandwidth_bits=bw)
-
-    def sweep():
-        reports = session.sweep(
-            "connectivity",
-            ns=NS,
-            graph_factory=lambda n: generators.gnm_random(n, 3 * n, seed=2),
-        )
-        return [
-            (r.graph["n"], r.rounds, r.work_rounds, r.result["phases"]) for r in reports
-        ]
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "connectivity_rounds_vs_n")
+    rows = [
+        (c.params["n"], c.metrics["rounds"], c.metrics["work_rounds"], c.metrics["phases"])
+        for c in result.cells
+    ]
+    k = result.cells[0].params["k"]
+    bw = result.cells[0].params["bandwidth_bits"]
     ns = np.array([r[0] for r in rows], dtype=float)
     work = np.array([max(r[2], 1) for r in rows], dtype=float)
     fit = fit_power_law(ns, work)

@@ -1,44 +1,35 @@
 """EXP CONV — Section 2 warm-up: flooding = Theta(n/k + D) via conversion.
 
-Runs the flooding baseline across graphs of equal size but widely varying
-diameter: the measured rounds must track D once D dominates n/k, which is
-exactly the Conversion-Theorem behaviour (Delta' * T / k with T = Theta(D))
-that motivates the paper's sketch-based approach.
+Thin wrapper over the registered ``conversion_flooding_diameter`` grid
+(see ``repro.bench.suites.baselines``): flooding across graphs of equal
+size but widely varying diameter must track D once D dominates n/k —
+exactly the Conversion-Theorem behaviour (Delta' * T / k with T =
+Theta(D)) that motivates the paper's sketch-based approach.
 """
 
 from __future__ import annotations
 
-from benchmarks._common import once, report
-from repro import KMachineCluster, generators
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.baselines import flooding_connectivity
-
-K = 8
 
 
 def test_flooding_tracks_diameter(benchmark):
-    n = 4096
-    workloads = [
-        ("complete-ish gnm m=32n (D~2)", generators.gnm_random(n, 32 * n, seed=17), 2),
-        ("gnm m=3n (D~log n)", generators.gnm_random(n, 3 * n, seed=17), 12),
-        ("grid 64x64 (D~2 sqrt n)", generators.grid2d(64, 64), 126),
-        ("cycle (D~n/2)", generators.cycle_graph(n), n // 2),
-        ("path (D=n-1)", generators.path_graph(n), n - 1),
+    result = run_registered(benchmark, "conversion_flooding_diameter")
+    rows = [
+        (
+            c.params["workload"],
+            c.params["d_approx"],
+            c.metrics["cc_rounds"],
+            c.metrics["rounds"],
+        )
+        for c in result.cells
     ]
-
-    def sweep():
-        rows = []
-        for name, g, d_approx in workloads:
-            cl = KMachineCluster.create(g, k=K, seed=17)
-            res = flooding_connectivity(cl)
-            rows.append((name, d_approx, res.cc_rounds, res.rounds))
-        return rows
-
-    rows = once(benchmark, sweep)
+    n = result.cells[0].params["n"]
+    k = result.cells[0].params["k"]
     table = format_table(
         ["workload", "~diameter", "CC rounds", "k-machine rounds"],
         rows,
-        title=f"Conversion Theorem - flooding rounds track n/k + D (n={n}, k={K})",
+        title=f"Conversion Theorem - flooding rounds track n/k + D (n={n}, k={k})",
     )
     table += "\npaper: flooding = Theta(n/k + D) after conversion; CC rounds = Theta(D)"
     report("CONV_flooding_diameter", table)

@@ -1,73 +1,37 @@
 """EXP L6 / Figure 2 — Lemma 6: DRR trees have depth O(log n) w.h.p.
 
-Reproduces the appendix experiment implicitly drawn in Figure 2: build the
-DRR forest over n singleton components arranged in the worst merging
-topology (a ring, so every component has an outgoing pointer) and measure
-tree depth against the paper's 6 log(n+1) w.h.p. bound and the log(n+1)
-expectation bound.
+Thin wrapper over the registered ``drr_depth`` grid (see
+``repro.bench.suites.structure``): build the DRR forest over n singleton
+components arranged in the worst merging topology (a ring, so every
+component has an outgoing pointer) and measure tree depth against the
+paper's 6 log(n+1) w.h.p. bound and the log(n+1) expectation bound.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.cluster import KMachineCluster
-from repro.core.drr import build_drr_forest
-from repro.core.labels import PartIndex, initial_labels
-from repro.core.outgoing import OutgoingSelection
-from repro.graphs import generators
-from repro.util.rng import SeedStream
-
-SEEDS = range(12)
-
-
-def _ring_forest(n, seed):
-    g = generators.cycle_graph(n)
-    cl = KMachineCluster.create(g, k=4, seed=seed)
-    labels = initial_labels(n)
-    parts = PartIndex.build(labels, cl.partition)
-    c = parts.n_components
-    nxt = (parts.comp_labels + 1) % n
-    sel = OutgoingSelection(
-        parts=parts,
-        comp_proxy=np.zeros(c, dtype=np.int64),
-        sketch_nonzero=np.ones(c, dtype=bool),
-        found=np.ones(c, dtype=bool),
-        slot=np.zeros(c, dtype=np.int64),
-        internal_vertex=parts.comp_labels.copy(),
-        foreign_vertex=nxt.copy(),
-        neighbor_label=nxt.copy(),
-        edge_weight=np.full(c, np.nan),
-    )
-    return build_drr_forest(parts, sel, SeedStream(seed))
 
 
 def test_depth_vs_n(benchmark):
-    ns = (256, 1024, 4096, 16384, 65536)
-
-    def sweep():
-        rows = []
-        for n in ns:
-            depths = [_ring_forest(n, 1000 * n + s).max_depth for s in SEEDS]
-            bound = 6 * np.log(n + 1)
-            rows.append(
-                (
-                    n,
-                    float(np.mean(depths)),
-                    int(np.max(depths)),
-                    float(np.log(n + 1)),
-                    float(bound),
-                )
-            )
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "drr_depth")
+    n_seeds = result.cells[0].params["n_seeds"]
+    rows = [
+        (
+            c.params["n"],
+            c.metrics["mean_depth"],
+            c.metrics["max_depth"],
+            float(np.log(c.params["n"] + 1)),
+            float(6 * np.log(c.params["n"] + 1)),
+        )
+        for c in result.cells
+    ]
     table = format_table(
         ["n", "mean depth", "max depth", "ln(n+1)", "6 ln(n+1) bound"],
         rows,
-        title=f"Lemma 6 / Figure 2 - DRR tree depth over {len(list(SEEDS))} seeds",
+        title=f"Lemma 6 / Figure 2 - DRR tree depth over {n_seeds} seeds",
     )
     table += "\npaper: depth O(log n) w.h.p.; E[path length] <= log(n+1) (appendix)"
     report("L6_drr_depth", table)
@@ -76,4 +40,5 @@ def test_depth_vs_n(benchmark):
         assert mean_d <= 3 * ln_n
     # Depth grows (at most) logarithmically: 256x more components adds
     # only a constant factor to depth.
+    ns = [r[0] for r in rows]
     assert rows[-1][2] <= rows[0][2] + 4 * np.log(ns[-1] / ns[0] + 1)

@@ -1,8 +1,9 @@
 """EXP T5 / Figure 1 — the Omega~(n/k^2) lower-bound simulation (Section 4).
 
-Builds the Figure-1 SCS instances from random-partition disjointness
-inputs, runs the real Theorem-4 SCS protocol under the Alice/Bob machine
-split, and measures:
+Thin wrapper over the registered ``scs_cut_traffic`` / ``scs_correctness``
+grids (see ``repro.bench.suites.lowerbound``): the Figure-1 SCS instances
+from random-partition disjointness inputs, run by the real Theorem-4 SCS
+protocol under the Alice/Bob machine split, measuring
 
 * protocol correctness on disjoint and intersecting instances,
 * the bits crossing the Alice/Bob cut — Lemma 8 forces Omega(b) for any
@@ -15,41 +16,32 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report
+from benchmarks._common import report, run_registered
 from repro.analysis import fit_power_law, format_table
-from repro.lowerbounds import make_instance, simulate_scs_protocol, trivial_protocol_bits
-
-BS = (64, 128, 256, 512, 1024)
-K = 8
 
 
 def test_cut_traffic_scaling(benchmark):
-    def sweep():
-        rows = []
-        for b in BS:
-            out = simulate_scs_protocol(b=b, k=K, seed=b, intersecting=False)
-            assert out.correct
-            trivial = trivial_protocol_bits(make_instance(b, seed=b, intersecting=False))
-            rows.append(
-                (
-                    b,
-                    out.rounds,
-                    out.cut_bits,
-                    out.cut_bits / b,
-                    trivial,
-                    out.cut_bits <= out.cut_capacity_bits,
-                )
-            )
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "scs_cut_traffic")
+    assert all(c.metrics["correct"] for c in result.cells)
+    rows = [
+        (
+            c.params["b"],
+            c.metrics["rounds"],
+            c.metrics["cut_bits"],
+            c.metrics["cut_bits_per_b"],
+            c.metrics["trivial_bits"],
+            c.metrics["capacity_ok"],
+        )
+        for c in result.cells
+    ]
+    k = result.cells[0].params["k"]
     bs = np.array([r[0] for r in rows], dtype=float)
     cut = np.array([r[2] for r in rows], dtype=float)
     fit = fit_power_law(bs, cut)
     table = format_table(
         ["b", "rounds", "cut bits", "cut bits / b", "trivial-protocol bits", "capacity ok"],
         rows,
-        title=f"Theorem 5 / Figure 1 - SCS 2-party simulation (k={K}, n=2b+2)",
+        title=f"Theorem 5 / Figure 1 - SCS 2-party simulation (k={k}, n=2b+2)",
     )
     table += (
         f"\nfit: cut_bits ~ b^{fit.exponent:.2f} (R^2={fit.r_squared:.3f});"
@@ -61,21 +53,21 @@ def test_cut_traffic_scaling(benchmark):
     assert all(r[5] for r in rows), "simulation inequality must hold"
     # Any correct protocol's cut traffic dominates Omega(b): ours carries
     # at least one bit per gadget.
-    assert all(r[2] >= r[0 + 0] for r in rows)
+    assert all(r[2] >= r[0] for r in rows)
 
 
 def test_both_answers_correct(benchmark):
-    def sweep():
-        rows = []
-        for b in (128, 512):
-            for intersecting in (False, True):
-                out = simulate_scs_protocol(
-                    b=b, k=K, seed=7 * b + int(intersecting), intersecting=intersecting
-                )
-                rows.append((b, intersecting, out.answer, out.expected, out.correct))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "scs_correctness")
+    rows = [
+        (
+            c.params["b"],
+            c.params["intersecting"],
+            c.metrics["answer"],
+            c.metrics["expected"],
+            c.metrics["correct"],
+        )
+        for c in result.cells
+    ]
     table = format_table(
         ["b", "intersecting", "protocol answer", "expected", "correct"],
         rows,

@@ -1,11 +1,10 @@
 """EXP T3 — Theorem 3: O(log n)-approximate min-cut in O~(n/k^2) rounds.
 
-Plants cuts of known size, runs the sampling + connectivity-testing
-algorithm, and reports the measured approximation factor against the
-O(log n) envelope.  The estimator's resolution is one doubling level, so
-each cut size is run over several seeds and the median is reported; the
-estimate must (a) stay inside c*ln(n) of the truth in both directions and
-(b) order the planted cuts correctly.
+Thin wrapper over the registered ``mincut_approx_factor`` /
+``mincut_rounds_vs_k`` grids (see ``repro.bench.suites.scaling``): planted
+cuts of known size, run through the sampling + connectivity-testing
+algorithm; the median estimate over seeds must (a) stay inside c*ln(n) of
+the truth in both directions and (b) order the planted cuts correctly.
 """
 
 from __future__ import annotations
@@ -14,35 +13,28 @@ import math
 
 import numpy as np
 
-from benchmarks._common import once, report
-from repro import KMachineCluster, generators, mincut_approx_distributed
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.graphs import reference as ref
 
 
 def test_approximation_factor(benchmark):
-    n = 400
-    cuts = (2, 8, 32)
-    seeds = (1, 2, 3)
-
-    def sweep():
-        rows = []
-        for c in cuts:
-            g = generators.planted_cut_graph(n, cut_size=c, inner_degree=48, seed=c)
-            truth = ref.stoer_wagner_mincut(g)
-            estimates = []
-            for s in seeds:
-                cl = KMachineCluster.create(g, k=8, seed=s)
-                estimates.append(mincut_approx_distributed(cl, seed=s).estimate)
-            med = float(np.median(estimates))
-            rows.append((c, truth, med, med / truth))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "mincut_approx_factor")
+    rows = [
+        (
+            c.params["cut"],
+            c.metrics["true_cut"],
+            c.metrics["median_estimate"],
+            c.metrics["factor"],
+        )
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
+    k = result.cells[0].params["k"]
+    n_seeds = result.cells[0].params["n_seeds"]
     table = format_table(
         ["planted cut", "true cut", "median estimate", "factor"],
         rows,
-        title=f"Theorem 3 - min-cut approximation, median of {len(seeds)} seeds (n={n}, k=8)",
+        title=f"Theorem 3 - min-cut approximation, median of {n_seeds} seeds (n={n}, k={k})",
     )
     envelope = 16 * math.log(n)
     table += (
@@ -59,18 +51,12 @@ def test_approximation_factor(benchmark):
 
 
 def test_rounds_vs_k(benchmark):
-    n = 2048
-    g = generators.planted_cut_graph(n, cut_size=4, inner_degree=12, seed=7)
-
-    def sweep():
-        rows = []
-        for k in (2, 4, 8, 16):
-            cl = KMachineCluster.create(g, k=k, seed=7)
-            res = mincut_approx_distributed(cl, seed=7)
-            rows.append((k, res.rounds, res.disconnect_level))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "mincut_rounds_vs_k")
+    rows = [
+        (c.params["k"], c.metrics["rounds"], c.metrics["disconnect_level"])
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
     table = format_table(
         ["k", "rounds", "level i*"],
         rows,

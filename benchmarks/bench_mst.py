@@ -1,52 +1,39 @@
 """EXP T2-a / T2-b — Theorem 2: MST in O~(n/k^2), strict output in Theta~(n/k).
 
-* ``test_mst_rounds_vs_k`` — the MST algorithm inherits the connectivity
-  scaling (superlinear speedup in k) and must produce the exact MST
-  (unique weights) at every point; driven through ``Session.sweep`` with
-  metrics read off the RunReport envelopes.
-* ``test_strict_vs_relaxed`` — Theorem 2(b): requiring every MST edge to
-  be announced to *both* endpoint home machines costs extra rounds that
-  grow like n/k on a star (the centre's home machine must receive
-  Omega(n) bits over its k-1 links), while the relaxed criterion's total
-  stays O~(n/k^2).  This test stays on the direct API: it inspects
-  individual ledger steps (the ``strict-output`` announcements), which the
-  envelope deliberately aggregates away.
+Thin wrapper over the registered ``mst_rounds_vs_k`` /
+``mst_strict_vs_relaxed`` grids (see ``repro.bench.suites.scaling``):
+
+* the MST algorithm inherits the connectivity scaling (superlinear
+  speedup in k) and must produce the exact MST (unique weights) at every
+  point;
+* Theorem 2(b): requiring every MST edge to be announced to *both*
+  endpoint home machines costs extra rounds that grow like n/k on a star
+  (the centre's home machine must receive Omega(n) bits over its k-1
+  links), while the relaxed criterion's total stays O~(n/k^2).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report, session_for
-from repro import KMachineCluster, generators, minimum_spanning_tree_distributed
+from benchmarks._common import report, run_registered
 from repro.analysis import fit_power_law, format_table
-from repro.graphs import reference as ref
-
-KS = (2, 4, 8, 16)
 
 
 def test_mst_rounds_vs_k(benchmark):
-    n = 2048
-    g = generators.with_unique_weights(generators.gnm_random(n, 4 * n, seed=5), seed=5)
-    want = ref.mst_weight(g, ref.kruskal_mst(g))
-    session = session_for(g, seed=5)
-
-    def sweep():
-        rows = []
-        for r in session.sweep("mst", ks=KS):
-            assert r.result["total_weight"] == want, "MST must be exact at every k"
-            rows.append(
-                (
-                    r.graph["k"],
-                    r.rounds,
-                    r.work_rounds,
-                    r.result["phases"],
-                    r.result["certified"],
-                )
-            )
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "mst_rounds_vs_k")
+    assert all(c.metrics["exact"] for c in result.cells), "MST must be exact at every k"
+    rows = [
+        (
+            c.params["k"],
+            c.metrics["rounds"],
+            c.metrics["work_rounds"],
+            c.metrics["phases"],
+            c.metrics["certified"],
+        )
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
     ks = np.array([r[0] for r in rows], dtype=float)
     raw = np.array([r[1] for r in rows], dtype=float)
     work = np.array([max(r[2], 1) for r in rows], dtype=float)
@@ -68,36 +55,18 @@ def test_mst_rounds_vs_k(benchmark):
 
 
 def test_strict_vs_relaxed(benchmark):
-    from repro.cluster import ClusterTopology
-    from repro.util.bits import polylog_bandwidth
-
-    k = 8
-    sizes = (2048, 8192, 32768)
-    # Fixed bandwidth across the sweep so the announce-cost exponent is not
-    # diluted by B = polylog(n); work term strips the per-phase floor.
-    topo = ClusterTopology(k=k, bandwidth_bits=polylog_bandwidth(max(sizes)))
-
-    def sweep():
-        rows = []
-        for n in sizes:
-            g = generators.with_unique_weights(generators.star_graph(n), seed=6)
-            cl = KMachineCluster.create(g, k=k, seed=6, topology=topo)
-            relaxed = minimum_spanning_tree_distributed(cl, seed=6, output="relaxed")
-            cl2 = KMachineCluster.create(g, k=k, seed=6, topology=topo)
-            strict = minimum_spanning_tree_distributed(cl2, seed=6, output="strict")
-            strict_steps = [s for s in cl2.ledger.steps if s.label.startswith("strict-output")]
-            announce_work = sum(max(0, s.rounds - 1) for s in strict_steps)
-            centre_bits = int(
-                sum(
-                    s.total_bits
-                    for s in cl2.ledger.steps
-                    if s.label.startswith("strict-output")
-                )
-            )
-            rows.append((n, relaxed.rounds, strict.rounds, announce_work, centre_bits))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "mst_strict_vs_relaxed")
+    rows = [
+        (
+            c.params["n"],
+            c.metrics["relaxed_rounds"],
+            c.metrics["strict_rounds"],
+            c.metrics["announce_work"],
+            c.metrics["announce_bits"],
+        )
+        for c in result.cells
+    ]
+    k = result.cells[0].params["k"]
     ns = np.array([r[0] for r in rows], dtype=float)
     announce = np.array([max(r[3], 1) for r in rows], dtype=float)
     bits = np.array([r[4] for r in rows], dtype=float)

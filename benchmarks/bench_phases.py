@@ -1,63 +1,44 @@
 """EXP L7 — Lemma 7: the connectivity algorithm ends within 12 log2 n phases.
 
-Measures the actual phase count over seeds and graph families, reporting
-the ratio phases / log2(n): the lemma guarantees <= 12 w.h.p.; typical
-behaviour sits near 1 (components roughly halve each phase).
+Thin wrapper over the registered ``phase_count`` grid (see
+``repro.bench.suites.structure``): the measured phase count over seeds and
+graph families, reported as phases / log2(n) — the lemma guarantees <= 12
+w.h.p.; typical behaviour sits near 1 (components roughly halve each
+phase).
 """
 
 from __future__ import annotations
 
 import math
 
-import numpy as np
-
-from benchmarks._common import once, report
-from repro import KMachineCluster, connected_components_distributed, generators
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
 
 
 def test_phase_count(benchmark):
-    ns = (512, 2048, 8192)
-    families = {
-        "gnm m=3n": lambda n, s: generators.gnm_random(n, 3 * n, seed=s),
-        "path": lambda n, s: generators.path_graph(n),
-        "powerlaw": lambda n, s: generators.powerlaw_preferential(n, 2, seed=s),
-    }
-
-    def sweep():
-        rows = []
-        for fam, make in families.items():
-            for n in ns:
-                phases = []
-                halved = []
-                for seed in range(3):
-                    g = make(n, seed)
-                    cl = KMachineCluster.create(g, k=8, seed=seed)
-                    res = connected_components_distributed(cl, seed=seed)
-                    assert res.converged
-                    phases.append(res.phases)
-                    for st in res.phase_stats:
-                        if st.components_start > 1:
-                            halved.append(st.components_end / st.components_start)
-                rows.append(
-                    (
-                        fam,
-                        n,
-                        float(np.mean(phases)),
-                        int(np.max(phases)),
-                        float(np.max(phases) / math.log2(n)),
-                        float(np.mean(halved)),
-                    )
-                )
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "phase_count")
+    rows = [
+        (
+            c.params["family"],
+            c.params["n"],
+            c.metrics["mean_phases"],
+            c.metrics["max_phases"],
+            c.metrics["max_phases"] / math.log2(c.params["n"]),
+            c.metrics["mean_shrink"],
+        )
+        for c in result.cells
+    ]
+    k = result.cells[0].params["k"]
+    n_seeds = result.cells[0].params["n_seeds"]
     table = format_table(
         ["family", "n", "mean phases", "max phases", "max / log2 n", "mean shrink/phase"],
         rows,
-        title="Lemma 7 - Boruvka phase counts (k=8, 3 seeds each)",
+        title=f"Lemma 7 - Boruvka phase counts (k={k}, {n_seeds} seeds each)",
     )
-    table += "\npaper: <= 12 log2 n phases w.h.p.; each phase kills >= 1/4 of components in expectation"
+    table += (
+        "\npaper: <= 12 log2 n phases w.h.p.;"
+        " each phase kills >= 1/4 of components in expectation"
+    )
     report("L7_phases", table)
     for _, n, _, max_p, ratio, shrink in rows:
         assert max_p <= 12 * math.log2(n)

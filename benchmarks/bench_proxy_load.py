@@ -1,47 +1,32 @@
 """EXP L1 — Lemma 1: proxy routing delivers all part messages in O~(n/k^2).
 
-Measures the quantity the lemma's balls-into-bins argument bounds: the
-maximum per-link load when every (machine, component) part sends one
-message to its component's random proxy.  The max must concentrate around
-the mean (parts / k^2), i.e. max/mean stays O(1) as n grows, and the
-implied rounds follow n/k^2.
+Thin wrapper over the registered ``proxy_load_concentration`` grid (see
+``repro.bench.suites.structure``): the maximum per-link load when every
+(machine, component) part sends one message to its component's random
+proxy must concentrate around the mean (parts / k^2) — max/mean stays
+O(1) as n grows, and the implied rounds follow n/k^2.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report
+from benchmarks._common import report, run_registered
 from repro.analysis import fit_power_law, format_table
-from repro.cluster import ClusterTopology, RoundLedger
-from repro.cluster.comm import CommStep
-from repro.core.proxy import proxy_of_labels
-from repro.util.rng import SeedStream
-
-K = 16
 
 
 def test_max_link_concentration(benchmark):
-    ns = (4_000, 16_000, 64_000, 256_000)
-
-    def sweep():
-        rows = []
-        for n in ns:
-            # Worst case of the lemma: n distinct components, parts spread
-            # round-robin (Theta(n/k) parts per machine).
-            part_machine = np.arange(n, dtype=np.int64) % K
-            proxies = proxy_of_labels(SeedStream(n), np.arange(n, dtype=np.int64), K)
-            topo = ClusterTopology(k=K, bandwidth_bits=1)  # load measured in messages
-            led = RoundLedger(topo)
-            step = CommStep(led, "lemma1")
-            step.add(part_machine, proxies, 1)
-            step.deliver()
-            off = led.load_total[~np.eye(K, dtype=bool)]
-            mean = off.mean()
-            rows.append((n, float(off.max()), float(mean), float(off.max() / mean)))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "proxy_load_concentration")
+    rows = [
+        (
+            c.params["n_parts"],
+            c.metrics["max_link_msgs"],
+            c.metrics["mean_link_msgs"],
+            c.metrics["max_over_mean"],
+        )
+        for c in result.cells
+    ]
+    k = result.cells[0].params["k"]
     ns_f = np.array([r[0] for r in rows], dtype=float)
     mean = np.array([r[2] for r in rows])
     fit_mean = fit_power_law(ns_f, mean)
@@ -49,7 +34,7 @@ def test_max_link_concentration(benchmark):
     table = format_table(
         ["parts (n)", "max link msgs", "mean link msgs", "max/mean"],
         rows,
-        title=f"Lemma 1 - proxy routing link-load concentration (k={K})",
+        title=f"Lemma 1 - proxy routing link-load concentration (k={k})",
     )
     table += (
         f"\nfit: mean_link ~ n^{fit_mean.exponent:.2f}, max_link ~ n^{fit_max.exponent:.2f};"

@@ -1,51 +1,43 @@
 """EXP REP — Section 1.3: Theta~(n/k) in REP vs Theta~(n/k^2) in RVP.
 
-The partition model changes the achievable complexity: under the random
-*edge* partition the tight bound is Theta~(n/k) (the footnote-5 algorithm
-pays a Theta~(n/k) reroute), while the random *vertex* partition admits
-Theta~(n/k^2).  This bench runs both on the same graphs, separating the
-REP cost into reroute + RVP-algorithm components.
-
-The bandwidth multiplier is reduced so the reroute's n/k term is visible
-at simulatable n (with the default generous polylog bandwidth it hides in
-the one-round floor).
+Thin wrapper over the registered ``rep_vs_rvp`` grid (see
+``repro.bench.suites.baselines``): under the random *edge* partition the
+tight bound is Theta~(n/k) (the footnote-5 algorithm pays a Theta~(n/k)
+reroute), while the random *vertex* partition admits Theta~(n/k^2).  Both
+run on the same graphs; the REP cost separates into reroute +
+RVP-algorithm components.  The grid reduces the bandwidth multiplier so
+the reroute's n/k term is visible at simulatable n.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import once, report
-from repro import KMachineCluster, connected_components_distributed, generators
+from benchmarks._common import report, run_registered
 from repro.analysis import fit_power_law, format_table
-from repro.baselines import rep_connectivity
-
-BW = 2  # bandwidth multiplier: B = 2 * ceil(log2 n)^2 bits/round
-K = 8
 
 
 def test_rep_vs_rvp_scaling(benchmark):
-    ns = (1024, 4096, 16384)
-
-    def sweep():
-        rows = []
-        for n in ns:
-            g = generators.gnm_random(n, 3 * n, seed=13)
-            cl = KMachineCluster.create(g, k=K, seed=13, bandwidth_multiplier=BW)
-            rvp = connected_components_distributed(cl, seed=13)
-            rep = rep_connectivity(g, k=K, seed=13, bandwidth_multiplier=BW)
-            assert rvp.n_components == rep.n_components
-            rows.append((n, rvp.rounds, rep.rounds, rep.reroute_rounds))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "rep_vs_rvp")
+    assert all(c.metrics["agree"] for c in result.cells), "component counts must agree"
+    rows = [
+        (
+            c.params["n"],
+            c.metrics["rvp_rounds"],
+            c.metrics["rep_rounds"],
+            c.metrics["reroute_rounds"],
+        )
+        for c in result.cells
+    ]
+    k = result.cells[0].params["k"]
+    bw = result.cells[0].params["bandwidth_multiplier"]
     ns_f = np.array([r[0] for r in rows], dtype=float)
     reroute = np.array([max(r[3], 1) for r in rows], dtype=float)
     fit_reroute = fit_power_law(ns_f, reroute)
     table = format_table(
         ["n", "RVP rounds", "REP rounds", "REP reroute rounds"],
         rows,
-        title=f"Section 1.3 - RVP vs REP connectivity (k={K}, B multiplier={BW})",
+        title=f"Section 1.3 - RVP vs REP connectivity (k={k}, B multiplier={bw})",
     )
     table += (
         f"\nfit: reroute ~ n^{fit_reroute.exponent:.2f};"

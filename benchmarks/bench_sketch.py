@@ -1,58 +1,28 @@
 """EXP L2 — Lemma 2: combined sketches sample outgoing edges w.h.p.
 
-Measures (a) the empirical sampling success rate of the l0 sketch over
-many seeds and component shapes — the w.h.p. claim — and (b) the wall-time
-cost of sketch construction, the hot path of the whole simulator (this is
-the one bench where pytest-benchmark's timing is the headline number).
+Thin wrapper over the registered ``sketch_success_rate`` /
+``sketch_throughput`` grids (see ``repro.bench.suites.structure``):
+(a) the empirical sampling success rate of the l0 sketch over many seeds
+— the w.h.p. claim — and (b) the wall-time cost of sketch construction,
+the hot path of the whole simulator (the one bench where timing is the
+headline number).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks._common import once, report
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.graphs import generators
-from repro.sketch.edgespace import decode_slot, incident_slots_and_signs
-from repro.sketch.l0 import SketchContext, SketchSpec
-
-
-def _success_rate(n, m, split_frac, trials, reps):
-    g = generators.gnm_random(n, m, seed=99)
-    owners = np.concatenate([g.edges_u, g.edges_v])
-    others = np.concatenate([g.edges_v, g.edges_u])
-    slots, signs = incident_slots_and_signs(n, owners, others)
-    cut = int(split_frac * n)
-    group = np.where(owners < cut, 0, 1).astype(np.int64)
-    crossing = {
-        (int(u), int(v))
-        for u, v in zip(g.edges_u, g.edges_v)
-        if (u < cut) != (v < cut)
-    }
-    ok = valid = 0
-    for seed in range(trials):
-        spec = SketchSpec.for_graph(n, seed=seed, repetitions=reps, hash_family="prf")
-        ctx = SketchContext(spec, slots, signs)
-        res = ctx.group_sums(group, 2).sample()
-        if res.found[0]:
-            ok += 1
-            lo, hi = decode_slot(n, np.array([res.slots[0]]))
-            valid += int((int(lo[0]), int(hi[0])) in crossing)
-    return ok / trials, (valid / ok if ok else 0.0)
 
 
 def test_sampling_success_rate(benchmark):
-    n, m = 512, 2048
-    trials = 40
-
-    def sweep():
-        rows = []
-        for reps in (1, 2, 4, 6, 8):
-            rate, validity = _success_rate(n, m, split_frac=0.3, trials=trials, reps=reps)
-            rows.append((reps, rate, validity))
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "sketch_success_rate")
+    rows = [
+        (c.params["repetitions"], c.metrics["success_rate"], c.metrics["validity"])
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
+    m = result.cells[0].params["m"]
+    trials = result.cells[0].params["trials"]
     table = format_table(
         ["repetitions", "success rate", "validity of recovered edges"],
         rows,
@@ -69,18 +39,8 @@ def test_sampling_success_rate(benchmark):
 def test_sketch_construction_throughput(benchmark):
     # Wall-time of the hot path: building per-part sketches for a
     # 100k-incidence graph (the per-phase inner loop of Theorem 1).
-    n = 4096
-    g = generators.gnm_random(n, 25_000, seed=5)
-    owners = np.concatenate([g.edges_u, g.edges_v])
-    others = np.concatenate([g.edges_v, g.edges_u])
-    slots, signs = incident_slots_and_signs(n, owners, others)
-    group = (owners % 997).astype(np.int64)
-    spec = SketchSpec.for_graph(n, seed=1, repetitions=6, hash_family="prf")
-
-    def build():
-        ctx = SketchContext(spec, slots, signs)
-        return ctx.group_sums(group, 997)
-
-    bundle = benchmark(build)
-    assert bundle.n_groups == 997
-    benchmark.extra_info["incidences"] = int(slots.size)
+    result = run_registered(benchmark, "sketch_throughput")
+    cell = result.cells[0]
+    assert cell.metrics["n_groups"] == cell.params["groups"]
+    benchmark.extra_info["incidences"] = cell.metrics["incidences"]
+    benchmark.extra_info["build_seconds"] = cell.wall_time_s

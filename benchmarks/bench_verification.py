@@ -1,82 +1,31 @@
 """EXP T4 — Theorem 4: eight verification problems in O~(n/k^2) rounds.
 
-Runs every verification problem on positive and negative instances,
-asserting correctness, and reports per-problem round counts at two values
-of k to exhibit the shared superlinear scaling (they are all connectivity
-reductions, so the scaling follows Theorem 1's).
+Thin wrapper over the registered ``verification_problems`` grid (see
+``repro.bench.suites.scaling``): every verification problem on positive
+and negative instances, asserting correctness, with per-problem round
+counts at two values of k to exhibit the shared superlinear scaling (they
+are all connectivity reductions, so the scaling follows Theorem 1's).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks._common import once, report
-from repro import KMachineCluster, generators
+from benchmarks._common import report, run_registered
 from repro.analysis import format_table
-from repro.core import verify
-from repro.graphs import reference as ref
-
-
-def _connected_gnm(n, m, seed):
-    """G(n, m) overlaid with a random spanning tree (connected for sure)."""
-    from repro.graphs.builder import GraphBuilder
-
-    g = generators.gnm_random(n, m, seed=seed)
-    t = generators.random_spanning_tree(n, seed=seed + 1)
-    b = GraphBuilder(n)
-    b.add_edges(g.edges_u, g.edges_v)
-    b.add_edges(t.edges_u, t.edges_v)
-    return b.build()
-
-
-def _problems(n, seed):
-    """(name, graph, runner, expected) rows covering all eight problems."""
-    g = _connected_gnm(n, 4 * n, seed=seed)
-    kr = ref.kruskal_mst(g)
-    span = np.zeros(g.m, dtype=bool)
-    span[kr] = True
-    broken = span.copy()
-    broken[kr[0]] = False
-    path = generators.path_graph(n)
-    mid = path.find_edge_id(n // 2, n // 2 + 1)
-    cut_mask = np.zeros(path.m, dtype=bool)
-    cut_mask[mid] = True
-    cyc = generators.cycle_graph(n)
-    evenc = generators.cycle_graph(n if n % 2 == 0 else n + 1)
-
-    return [
-        ("spanning connected subgraph (+)", g, lambda c: verify.spanning_connected_subgraph(c, span, seed=seed), True),
-        ("spanning connected subgraph (-)", g, lambda c: verify.spanning_connected_subgraph(c, broken, seed=seed), False),
-        ("cut (+)", path, lambda c: verify.cut_verification(c, cut_mask, seed=seed), True),
-        ("s-t connectivity (+)", g, lambda c: verify.st_connectivity(c, 0, n - 1, seed=seed), True),
-        ("s-t cut (+)", path, lambda c: verify.st_cut_verification(c, cut_mask, 0, n - 1, seed=seed), True),
-        ("edge on all paths (+)", path, lambda c: verify.edge_on_all_paths(c, n // 2, n // 2 + 1, 0, n - 1, seed=seed), True),
-        ("cycle containment (+)", cyc, lambda c: verify.cycle_containment(c, seed=seed), True),
-        ("cycle containment (-)", path, lambda c: verify.cycle_containment(c, seed=seed), False),
-        ("e-cycle containment (+)", cyc, lambda c: verify.e_cycle_containment(c, 0, 1, seed=seed), True),
-        ("e-cycle containment (-)", path, lambda c: verify.e_cycle_containment(c, 0, 1, seed=seed), False),
-        ("bipartiteness (+)", evenc, lambda c: verify.bipartiteness(c, seed=seed), True),
-        ("bipartiteness (-)", generators.complete_graph(64), lambda c: verify.bipartiteness(c, seed=seed), False),
-    ]
 
 
 def test_all_verification_problems(benchmark):
-    n = 512
-
-    def sweep():
-        rows = []
-        for name, g, runner, expected in _problems(n, seed=11):
-            cells = [name]
-            for k in (4, 16):
-                cl = KMachineCluster.create(g, k=k, seed=11)
-                res = runner(cl)
-                assert res.answer == expected, f"{name} wrong at k={k}"
-                cells.append(res.rounds)
-            cells.append(expected)
-            rows.append(cells)
-        return rows
-
-    rows = once(benchmark, sweep)
+    result = run_registered(benchmark, "verification_problems")
+    assert all(c.metrics["correct"] for c in result.cells), "every answer must match"
+    rows = [
+        (
+            f"{c.params['problem']} ({'+' if c.params['positive'] else '-'})",
+            c.metrics["rounds_k4"],
+            c.metrics["rounds_k16"],
+            c.metrics["expected"],
+        )
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
     table = format_table(
         ["problem", "rounds k=4", "rounds k=16", "expected"],
         rows,

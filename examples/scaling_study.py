@@ -21,7 +21,7 @@ import numpy as np
 
 from repro import generators
 from repro.analysis import fit_power_law, print_table
-from repro.runtime import ClusterConfig, RunConfig, Session
+from repro.runtime import RunConfig, Session
 
 
 def main() -> None:

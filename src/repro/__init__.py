@@ -40,6 +40,11 @@ Compatibility note: the original free functions remain fully supported —
 they are the implementation the registry adapters call, and produce the
 same answers for the same seeds as the Session path.
 
+Benchmarks are first-class as well: every experiment grid registers in
+:mod:`repro.bench` and runs into serializable ``BENCH_<name>.json``
+envelopes that CI regression-gates (``python -m repro bench run --quick
+--all``; see DESIGN.md section 6).
+
 See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
 system inventory and the runtime API / seed-precedence policy.
 """

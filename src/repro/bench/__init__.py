@@ -1,0 +1,64 @@
+"""repro.bench — first-class, regression-gated benchmarks.
+
+The measurement counterpart of :mod:`repro.runtime`: every experiment grid
+in ``benchmarks/`` registers here as a :class:`BenchSpec` (scenario cells,
+a CI-sized quick tier, a base seed) and executes into a serializable
+:class:`BenchResult` envelope — per-cell round counts, ledger bit totals,
+wall time, and environment provenance — written to ``BENCH_<name>.json``.
+
+* **registry** — ``@register_benchmark(name, ...)``,
+  :func:`list_benchmarks`, :func:`get_benchmark`.
+* **runner** — :func:`run_benchmark` / :func:`run_all`;
+  :func:`metrics_from_report` adapts :class:`~repro.runtime.report.RunReport`
+  cost totals into the shared metric vocabulary.
+* **comparator** — :func:`compare_paths` & friends: diff a committed
+  baseline against a fresh run and fail on configurable thresholds
+  (metrics exact by default; wall time only when a tolerance is given).
+
+Quickstart::
+
+    >>> from repro.bench import run_benchmark, list_benchmarks
+    >>> result = run_benchmark("ablation_drr_vs_naive", tier="quick")
+    >>> result.write(".")                               # doctest: +SKIP
+    PosixPath('BENCH_ablation_drr_vs_naive.json')
+
+CLI: ``python -m repro bench {list,run,compare}`` (see DESIGN.md,
+"Benchmarks & perf gating").
+"""
+
+from repro.bench.compare import (
+    Comparison,
+    Difference,
+    Thresholds,
+    compare_files,
+    compare_paths,
+    compare_results,
+)
+from repro.bench.registry import (
+    BenchSpec,
+    get_benchmark,
+    list_benchmarks,
+    register_benchmark,
+)
+from repro.bench.result import BenchResult, CellResult, bench_filename, cell_key
+from repro.bench.runner import metrics_from_report, run_all, run_benchmark
+
+__all__ = [
+    "BenchResult",
+    "BenchSpec",
+    "CellResult",
+    "Comparison",
+    "Difference",
+    "Thresholds",
+    "bench_filename",
+    "cell_key",
+    "compare_files",
+    "compare_paths",
+    "compare_results",
+    "get_benchmark",
+    "list_benchmarks",
+    "metrics_from_report",
+    "register_benchmark",
+    "run_all",
+    "run_benchmark",
+]

@@ -1,0 +1,60 @@
+"""Environment provenance for :class:`~repro.bench.result.BenchResult`.
+
+A perf number without its environment is unreproducible; every envelope
+records the interpreter, numpy, platform, and the git commit the numbers
+came from.  All fields are deterministic for a fixed checkout on a fixed
+machine, so they do not break the byte-determinism contract.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["capture_environment", "git_sha"]
+
+
+def git_sha(cwd: str | Path | None = None) -> str:
+    """The current commit SHA (with ``+dirty`` when the tree has changes).
+
+    Falls back to ``"unknown"`` outside a git checkout or without git —
+    provenance capture must never fail a benchmark run.
+    """
+    root = Path(cwd) if cwd is not None else Path(__file__).resolve()
+    if root.is_file():
+        root = root.parent
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        return f"{sha}+dirty" if dirty else sha
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def capture_environment() -> dict:
+    """Provenance dict stored in every :class:`BenchResult` envelope."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_sha": git_sha(),
+    }

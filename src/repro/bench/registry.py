@@ -1,0 +1,141 @@
+"""The benchmark registry: ``@register_benchmark`` -> discoverable BenchSpecs.
+
+Mirrors :mod:`repro.runtime.registry`: every benchmark in the repository
+registers a *cell runner* under a stable name together with its scenario
+grids.  A cell runner maps one grid point onto a metrics dict::
+
+    @register_benchmark(
+        "connectivity_rounds_vs_k",
+        title="Theorem 1: connectivity rounds vs k",
+        group="scaling",
+        cells=[{"n": 4096, "k": k} for k in (2, 4, 8, 16, 32)],
+        quick_cells=[{"n": 512, "k": k} for k in (2, 4, 8)],
+        seed=1,
+    )
+    def _run(cell: dict, seed: int) -> dict:
+        ...
+        return {"rounds": ..., "work_rounds": ..., "total_bits": ...}
+
+Metrics must be JSON-safe after :func:`~repro.runtime.report.jsonify` and
+deterministic in (cell, seed); wall time is measured by the harness, never
+recorded as a metric.  A runner whose cell includes setup the timing
+should exclude (graph construction, reference truth) may return the
+reserved ``"_wall_time_s"`` key with the hot-path duration — the harness
+lifts it into ``CellResult.wall_time_s`` instead of its own measurement.
+Built-in benchmarks live in :mod:`repro.bench.suites`, imported lazily on
+first registry access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.bench.result import TIERS
+
+__all__ = [
+    "BenchSpec",
+    "get_benchmark",
+    "list_benchmarks",
+    "register_benchmark",
+]
+
+_REGISTRY: dict[str, "BenchSpec"] = {}
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """A registered benchmark: metadata, scenario grids, and the cell runner.
+
+    Attributes
+    ----------
+    name:
+        Stable registry name; the artifact is ``BENCH_<name>.json``.
+    title:
+        Human one-liner (which theorem/lemma/ablation the grid reproduces).
+    group:
+        Coarse family for listings: ``scaling`` | ``baseline`` |
+        ``ablation`` | ``structure`` | ``lowerbound``.
+    cells:
+        Full-tier scenario grid (the paper-scale sweep).
+    quick_cells:
+        Quick-tier grid: small enough for CI smoke runs (seconds, not
+        minutes) while exercising the same code paths.
+    seed:
+        Default base seed; ``run_benchmark`` may override it.
+    runner:
+        ``fn(cell, seed) -> metrics`` for one grid point.
+    """
+
+    name: str
+    title: str
+    group: str
+    cells: tuple[dict, ...]
+    quick_cells: tuple[dict, ...]
+    seed: int
+    runner: Callable[[dict, int], Mapping]
+
+    def cells_for(self, tier: str) -> tuple[dict, ...]:
+        """The scenario grid selected by ``tier`` ('quick' or 'full')."""
+        if tier not in TIERS:
+            raise ValueError(f"tier must be one of {TIERS}, got {tier!r}")
+        return self.quick_cells if tier == "quick" else self.cells
+
+
+BENCH_GROUPS = ("scaling", "baseline", "ablation", "structure", "lowerbound")
+
+
+def register_benchmark(
+    name: str,
+    *,
+    title: str,
+    group: str,
+    cells: Iterable[Mapping],
+    quick_cells: Iterable[Mapping],
+    seed: int = 0,
+) -> Callable[[Callable[[dict, int], Mapping]], Callable[[dict, int], Mapping]]:
+    """Decorator: register ``fn(cell, seed) -> metrics`` under ``name``."""
+    if group not in BENCH_GROUPS:
+        raise ValueError(f"group must be one of {BENCH_GROUPS}, got {group!r}")
+    cell_tuple = tuple(dict(c) for c in cells)
+    quick_tuple = tuple(dict(c) for c in quick_cells)
+    if not cell_tuple or not quick_tuple:
+        raise ValueError(f"benchmark {name!r} needs non-empty full and quick grids")
+
+    def decorate(fn: Callable[[dict, int], Mapping]) -> Callable[[dict, int], Mapping]:
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} is already registered")
+        _REGISTRY[name] = BenchSpec(
+            name=name,
+            title=title,
+            group=group,
+            cells=cell_tuple,
+            quick_cells=quick_tuple,
+            seed=int(seed),
+            runner=fn,
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in suites exactly once (lazy, cycle-free)."""
+    import repro.bench.suites  # noqa: F401
+
+
+def list_benchmarks() -> list[str]:
+    """Sorted names of every registered benchmark."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_benchmark(name: str) -> BenchSpec:
+    """Look up a registered benchmark; raise ``KeyError`` naming the options."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None

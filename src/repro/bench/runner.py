@@ -1,0 +1,150 @@
+"""Executes registered benchmarks into :class:`BenchResult` envelopes.
+
+The harness owns everything a cell runner should not: tier selection,
+timing, environment capture, metric jsonification, and artifact output.
+Cell runners stay pure functions of (cell, seed), which is what makes the
+``include_timing=False`` byte-determinism contract hold.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.bench.registry import BenchSpec, get_benchmark, list_benchmarks
+from repro.bench.result import BenchResult, CellResult
+from repro.runtime.report import RunReport, jsonify
+
+__all__ = ["metrics_from_report", "run_all", "run_benchmark"]
+
+
+def metrics_from_report(report: RunReport, **extra) -> dict:
+    """The standard cost metrics a :class:`RunReport` contributes to a cell.
+
+    Every Session-driven benchmark reports the same vocabulary — rounds,
+    the work term, ledger bit totals, congestion — so the comparator can
+    gate all of them uniformly; ``extra`` merges bench-specific metrics
+    (correctness flags, phase counts, ...) into the same dict.
+    """
+    metrics = {
+        "rounds": report.rounds,
+        "work_rounds": report.work_rounds,
+        "total_bits": report.total_bits,
+        "max_machine_received_bits": int(report.ledger["max_machine_received_bits"]),
+        "n_steps": int(report.ledger["n_steps"]),
+    }
+    metrics.update(extra)
+    return metrics
+
+
+def run_benchmark(
+    name_or_spec: str | BenchSpec,
+    *,
+    tier: str = "full",
+    seed: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BenchResult:
+    """Run one registered benchmark over its ``tier`` grid.
+
+    ``seed`` overrides the spec's default base seed.  ``progress`` (if
+    given) receives one line per completed cell — the CLI uses it; library
+    callers usually leave it off.
+    """
+    from repro.bench.environment import capture_environment
+
+    spec = name_or_spec if isinstance(name_or_spec, BenchSpec) else get_benchmark(name_or_spec)
+    base_seed = spec.seed if seed is None else int(seed)
+    cells = spec.cells_for(tier)
+    results: list[CellResult] = []
+    t_bench = time.perf_counter()
+    for i, params in enumerate(cells):
+        t0 = time.perf_counter()
+        metrics = dict(spec.runner(dict(params), base_seed))
+        wall = time.perf_counter() - t0
+        # A runner may report the hot-path duration under the reserved
+        # "_wall_time_s" key (e.g. excluding graph construction); it is
+        # lifted out of the metrics so the determinism contract holds.
+        override = metrics.pop("_wall_time_s", None)
+        cell = CellResult(
+            params=jsonify(dict(params)),
+            metrics=jsonify(metrics),
+            wall_time_s=wall if override is None else float(override),
+        )
+        results.append(cell)
+        if progress is not None:
+            progress(f"  [{i + 1}/{len(cells)}] {cell.key} done in {wall:.2f}s")
+    return BenchResult(
+        bench=spec.name,
+        title=spec.title,
+        tier=tier,
+        seed=base_seed,
+        environment=capture_environment(),
+        cells=results,
+        wall_time_s=time.perf_counter() - t_bench,
+    )
+
+
+def _check_tier_overwrite(out_dir: Path, names: list[str], tier: str) -> None:
+    """Refuse to clobber existing artifacts recorded at a different tier.
+
+    Guards the committed quick-tier baselines at the repo root: a bare
+    ``bench run --all`` (full tier, default out-dir ``.``) would otherwise
+    silently rewrite all of them and trip the CI gate with confusing
+    envelope mismatches.
+    """
+    import json
+
+    from repro.bench.result import bench_filename
+
+    clashes = []
+    for name in names:
+        path = out_dir / bench_filename(name)
+        if not path.exists():
+            continue
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8")).get("tier")
+        except (OSError, ValueError):
+            continue
+        if existing is not None and existing != tier:
+            clashes.append(f"{path} (tier {existing!r})")
+    if clashes:
+        raise ValueError(
+            f"refusing to overwrite {len(clashes)} existing {('quick' if tier == 'full' else 'full')}-tier "
+            f"artifact(s) with tier {tier!r} output: {', '.join(clashes[:3])}"
+            f"{', ...' if len(clashes) > 3 else ''}; "
+            "pass a different --out-dir, or --force to overwrite"
+        )
+
+
+def run_all(
+    names: Iterable[str] | None = None,
+    *,
+    tier: str = "full",
+    seed: int | None = None,
+    out_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+    force: bool = False,
+) -> list[BenchResult]:
+    """Run several benchmarks (default: all), optionally writing artifacts.
+
+    With ``out_dir`` set, each envelope lands at
+    ``<out_dir>/BENCH_<name>.json`` as soon as its run finishes, so a
+    crashed suite still leaves the completed artifacts behind.  Writing a
+    different *tier* over an existing artifact is refused unless
+    ``force`` is set (see :func:`_check_tier_overwrite`).
+    """
+    selected = list_benchmarks() if names is None else list(names)
+    if out_dir is not None and not force:
+        _check_tier_overwrite(Path(out_dir), selected, tier)
+    results = []
+    for name in selected:
+        if progress is not None:
+            progress(f"== {name} [{tier}] ==")
+        result = run_benchmark(name, tier=tier, seed=seed, progress=progress)
+        if out_dir is not None:
+            path = result.write(out_dir)
+            if progress is not None:
+                progress(f"  wrote {path}")
+        results.append(result)
+    return results

@@ -1,0 +1,268 @@
+"""Ablation benchmarks: the design choices behind the Theorem-1 machinery.
+
+AB-1 bulk accounting vs exact engine, AB-2 sketches vs enumeration, AB-3
+fresh proxies vs fixed destinations, AB-4 DRR vs naive merging, AB-5 hash
+families, AB-6 the MST elimination budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import register_benchmark
+from repro.bench.suites.common import session_for, weighted_gnm_with_mst_weight
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.comm import CommStep
+from repro.cluster.engine import Envelope, SyncEngine
+from repro.cluster.ledger import RoundLedger
+from repro.cluster.topology import ClusterTopology
+from repro.core.proxy import proxy_of_labels
+from repro.graphs import generators
+from repro.graphs import reference as ref
+from repro.util.rng import SeedStream
+
+# -- AB-1: bulk step accounting vs the exact mailbox engine ------------------
+
+
+def _engine_flooding_rounds(g, cl) -> int:
+    """Execute flooding on the per-round mailbox engine; return its rounds."""
+    home = cl.partition.home
+    label_bits = max(1, int(np.ceil(np.log2(g.n))))
+
+    class FloodProgram:
+        def __init__(self) -> None:
+            self.labels = np.arange(g.n, dtype=np.int64)
+            self.started = False
+
+        def on_round(self, machine, round_no, inbox):
+            updated: set[int] = set()
+            if not self.started:
+                self.started = True
+                updated = {int(v) for v in np.nonzero(home == machine)[0]}
+            for env in inbox:
+                v, lab = env.payload
+                if lab < self.labels[v]:
+                    self.labels[v] = lab
+                    updated.add(v)
+            outs = []
+            for v in updated:
+                for w in g.neighbors(v):
+                    outs.append(
+                        Envelope(
+                            machine,
+                            int(home[int(w)]),
+                            label_bits,
+                            (int(w), int(self.labels[v])),
+                        )
+                    )
+            return outs
+
+        def is_done(self, machine):
+            return True
+
+    engine = SyncEngine(cl.topology)
+    result = engine.run([FloodProgram() for _ in range(cl.k)], max_rounds=100_000)
+    assert result.terminated
+    return int(result.rounds)
+
+
+@register_benchmark(
+    "ablation_engines",
+    title="AB-1: bulk-ledger rounds vs exact mailbox-engine rounds (flooding)",
+    group="ablation",
+    cells=[
+        {"workload": "gnm", "n": 256, "m_mult": 4, "k": 4},
+        {"workload": "path", "n": 256, "k": 4},
+        {"workload": "star", "n": 256, "k": 4},
+    ],
+    quick_cells=[
+        {"workload": "gnm", "n": 128, "m_mult": 4, "k": 4},
+        {"workload": "path", "n": 128, "k": 4},
+    ],
+    seed=21,
+)
+def _engines_agree(cell: dict, seed: int) -> dict:
+    n = cell["n"]
+    if cell["workload"] == "gnm":
+        g = generators.gnm_random(n, cell["m_mult"] * n, seed=seed)
+    elif cell["workload"] == "path":
+        g = generators.path_graph(n)
+    else:
+        g = generators.star_graph(n)
+    bulk = session_for(g, seed=seed, k=cell["k"]).run("flooding").rounds
+    cl = KMachineCluster.create(g, k=cell["k"], seed=seed)
+    exact = _engine_flooding_rounds(g, cl)
+    return {"bulk_rounds": int(bulk), "engine_rounds": exact, "ratio": exact / bulk}
+
+
+# -- AB-2: sketches vs explicit edge enumeration -----------------------------
+
+
+@register_benchmark(
+    "ablation_sketch_vs_enum",
+    title="AB-2: total communication vs edge density, sketches vs enumeration",
+    group="ablation",
+    cells=[{"n": 1024, "density": d, "k": 8} for d in (4, 16, 64, 256)],
+    quick_cells=[{"n": 256, "density": d, "k": 8} for d in (4, 16)],
+    seed=23,
+)
+def _sketch_vs_enum(cell: dict, seed: int) -> dict:
+    n = cell["n"]
+    g = generators.gnm_random(n, cell["density"] * n, seed=seed)
+    session = session_for(g, seed=seed, k=cell["k"])
+    sketch_bits = session.run("connectivity").total_bits
+    enum_bits = session.run("boruvka_nosketch").total_bits
+    return {
+        "sketch_bits": int(sketch_bits),
+        "enum_bits": int(enum_bits),
+        "enum_over_sketch": enum_bits / sketch_bits,
+    }
+
+
+# -- AB-3: fresh random proxies vs fixed destinations ------------------------
+
+
+def _max_receive(policy: str, n_parts: int, n_iterations: int, k: int) -> int:
+    """Max per-machine cumulative receive volume over the iterations."""
+    topo = ClusterTopology(k=k, bandwidth_bits=1)  # measure in messages
+    led = RoundLedger(topo)
+    labels = np.arange(n_parts, dtype=np.int64) % 64  # 64 components
+    part_machine = np.arange(n_parts, dtype=np.int64) % k
+    fixed_dest = proxy_of_labels(SeedStream(0xF1), labels, k)
+    for it in range(n_iterations):
+        if policy == "proxy" and it > 0:
+            dest = proxy_of_labels(SeedStream(0xF1 + it), labels, k)
+        else:
+            dest = fixed_dest
+        step = CommStep(led, f"{policy}:{it}")
+        step.add(part_machine, dest, 1)
+        step.deliver()
+    return int(led.received_bits.max())
+
+
+@register_benchmark(
+    "ablation_proxy_congestion",
+    title="AB-3: receive congestion, fresh proxies vs fixed destinations",
+    group="ablation",
+    cells=[{"iterations": it, "n_parts": 8192, "k": 16} for it in (1, 4, 16, 64)],
+    quick_cells=[{"iterations": it, "n_parts": 2048, "k": 16} for it in (1, 4, 16)],
+    seed=0,
+)
+def _proxy_congestion(cell: dict, seed: int) -> dict:
+    iters, n_parts, k = cell["iterations"], cell["n_parts"], cell["k"]
+    proxy = _max_receive("proxy", n_parts, iters, k)
+    fixed = _max_receive("fixed", n_parts, iters, k)
+    ideal = n_parts * iters / k
+    return {
+        "proxy_max_recv": proxy,
+        "fixed_max_recv": fixed,
+        "proxy_over_ideal": proxy / ideal,
+        "fixed_over_ideal": fixed / ideal,
+    }
+
+
+# -- AB-4: DRR vs naive merge-along-every-edge -------------------------------
+
+
+def _naive_chain_depth(n: int) -> int:
+    """Every component attaches to its ring successor: an (n-1)-deep chain."""
+    return n - 1
+
+
+def _drr_depth_on_ring(n: int, seed: int) -> int:
+    ranks = SeedStream(seed).keyed_u64(np.arange(n, dtype=np.uint64))
+    nxt = (np.arange(n) + 1) % n
+    parent = np.where(ranks[nxt] > ranks, nxt, -1)
+    depth = np.zeros(n, dtype=np.int64)
+    order = np.argsort(ranks)[::-1]
+    for c in order:
+        p = parent[c]
+        if p >= 0:
+            depth[c] = depth[p] + 1
+    return int(depth.max())
+
+
+@register_benchmark(
+    "ablation_drr_vs_naive",
+    title="AB-4: merge-structure depth, DRR vs naive chaining on rings",
+    group="ablation",
+    cells=[{"n": n, "n_seeds": 8} for n in (1024, 8192, 65536)],
+    quick_cells=[{"n": n, "n_seeds": 4} for n in (256, 1024)],
+    seed=100,
+)
+def _drr_vs_naive(cell: dict, seed: int) -> dict:
+    n = cell["n"]
+    drr = max(_drr_depth_on_ring(n, seed + s) for s in range(cell["n_seeds"]))
+    naive = _naive_chain_depth(n)
+    return {"drr_max_depth": drr, "naive_depth": naive, "naive_over_drr": naive / drr}
+
+
+# -- AB-5: hash families -----------------------------------------------------
+
+
+@register_benchmark(
+    "ablation_hash_family",
+    title="AB-5: provable polynomial hashing vs the SplitMix64 PRF fast path",
+    group="ablation",
+    cells=[{"family": f, "n": 1024, "m_mult": 4, "k": 8} for f in ("prf", "polynomial")],
+    quick_cells=[
+        {"family": f, "n": 256, "m_mult": 4, "k": 8} for f in ("prf", "polynomial")
+    ],
+    seed=29,
+)
+def _hash_family(cell: dict, seed: int) -> dict:
+    from repro.runtime import ClusterConfig, RunConfig, Session, SketchConfig
+
+    n = cell["n"]
+    g = generators.gnm_random(n, cell["m_mult"] * n, seed=seed)
+    truth = ref.connected_components(g)
+    config = RunConfig(
+        seed=seed,
+        sketch=SketchConfig(hash_family=cell["family"]),
+        cluster=ClusterConfig(k=cell["k"]),
+    )
+    r = Session(g, config=config).run("connectivity")
+    return {
+        "correct": bool(np.array_equal(np.asarray(r.result["labels"]), truth)),
+        "phases": int(r.result["phases"]),
+        "rounds": int(r.rounds),
+        # The families' wall-time ratio is the headline; exclude the shared
+        # graph-construction/reference overhead from the recorded timing.
+        "_wall_time_s": r.wall_time_s,
+    }
+
+
+# -- AB-6: MST elimination budget --------------------------------------------
+
+
+@register_benchmark(
+    "ablation_elimination_budget",
+    title="AB-6: MST weight error vs the fixed elimination budget t",
+    group="ablation",
+    cells=[
+        *({"budget": b, "n": 512, "m_mult": 6, "k": 8, "n_seeds": 3} for b in (1, 2, 4, 8, 16)),
+        {"budget": "fixpoint", "n": 512, "m_mult": 6, "k": 8, "n_seeds": 1},
+    ],
+    quick_cells=[
+        *({"budget": b, "n": 128, "m_mult": 6, "k": 4, "n_seeds": 2} for b in (1, 8)),
+        {"budget": "fixpoint", "n": 128, "m_mult": 6, "k": 4, "n_seeds": 1},
+    ],
+    seed=31,
+)
+def _elimination_budget(cell: dict, seed: int) -> dict:
+    n = cell["n"]
+    g, opt = weighted_gnm_with_mst_weight(n, cell["m_mult"], seed)
+    budget = cell["budget"]
+    params = {} if budget == "fixpoint" else {"strict_elimination_budget": int(budget)}
+    errors = []
+    spans = True
+    for s in range(cell["n_seeds"]):
+        session = session_for(g, seed=seed + 1 + s, k=cell["k"], params=params)
+        res = session.run("mst").result
+        spans = spans and res["n_edges"] == n - 1
+        errors.append((res["total_weight"] - opt) / opt)
+    return {
+        "mean_weight_error": float(np.mean(errors)),
+        "max_weight_error": float(np.max(errors)),
+        "always_spans": bool(spans),
+    }

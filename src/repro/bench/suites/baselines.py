@@ -1,0 +1,134 @@
+"""Baseline benchmarks: the paper's positioning against Section-2 warm-ups.
+
+Flooding (Theta(n/k + D)), gather-at-referee (Theta~(m/k)), the no-sketch
+Boruvka (Theta(m log n) label-sync traffic), and the random-edge-partition
+model (Theta~(n/k)) — all driven through the runtime registry, so a
+baseline and the sketch algorithm are just different registry names on one
+Session.
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import register_benchmark
+from repro.bench.suites.common import session_for
+from repro.graphs import generators
+
+# -- flooding vs sketches on high-diameter graphs ----------------------------
+
+
+@register_benchmark(
+    "baselines_flooding_diameter",
+    title="Theorem 1 vs flooding on paths: flooding pays Theta(D)",
+    group="baseline",
+    cells=[{"n": n, "k": 16, "graph": "path"} for n in (2048, 4096, 8192)],
+    quick_cells=[{"n": n, "k": 8, "graph": "path"} for n in (256, 512)],
+    seed=3,
+)
+def _flooding_diameter(cell: dict, seed: int) -> dict:
+    g = generators.path_graph(cell["n"])
+    session = session_for(seed=seed, k=cell["k"])
+    ours = session.run("connectivity", g).rounds
+    flood = session.run("flooding", g).rounds
+    return {
+        "sketch_rounds": int(ours),
+        "flooding_rounds": int(flood),
+        "flooding_over_sketch": flood / ours,
+    }
+
+
+@register_benchmark(
+    "conversion_flooding_diameter",
+    title="Conversion Theorem: flooding rounds track n/k + D across families",
+    group="baseline",
+    cells=[
+        {"workload": "gnm_m32n", "n": 4096, "k": 8, "d_approx": 2},
+        {"workload": "gnm_m3n", "n": 4096, "k": 8, "d_approx": 12},
+        {"workload": "grid", "n": 4096, "k": 8, "d_approx": 126},
+        {"workload": "cycle", "n": 4096, "k": 8, "d_approx": 2048},
+        {"workload": "path", "n": 4096, "k": 8, "d_approx": 4095},
+    ],
+    quick_cells=[
+        {"workload": "gnm_m3n", "n": 512, "k": 8, "d_approx": 9},
+        {"workload": "cycle", "n": 512, "k": 8, "d_approx": 256},
+        {"workload": "path", "n": 512, "k": 8, "d_approx": 511},
+    ],
+    seed=17,
+)
+def _conversion_flooding(cell: dict, seed: int) -> dict:
+    n = cell["n"]
+    workload = cell["workload"]
+    if workload == "gnm_m32n":
+        g = generators.gnm_random(n, 32 * n, seed=seed)
+    elif workload == "gnm_m3n":
+        g = generators.gnm_random(n, 3 * n, seed=seed)
+    elif workload == "grid":
+        side = max(2, int(round(n**0.5)))
+        g = generators.grid2d(side, side)
+    elif workload == "cycle":
+        g = generators.cycle_graph(n)
+    elif workload == "path":
+        g = generators.path_graph(n)
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+    r = session_for(g, seed=seed, k=cell["k"]).run("flooding")
+    return {
+        "cc_rounds": int(r.result["cc_rounds"]),
+        "rounds": int(r.rounds),
+        "n_components": int(r.result["n_components"]),
+    }
+
+
+# -- communication-volume crossover in m -------------------------------------
+
+
+@register_benchmark(
+    "baselines_volume_crossover",
+    title="Theorem 1 vs m-bound baselines: bits vs edge count",
+    group="baseline",
+    cells=[{"n": 1024, "m_mult": mm, "k": 8} for mm in (8, 32, 128, 510)],
+    quick_cells=[{"n": 256, "m_mult": mm, "k": 8} for mm in (8, 32)],
+    seed=4,
+)
+def _volume_crossover(cell: dict, seed: int) -> dict:
+    n = cell["n"]
+    g = generators.gnm_random(n, cell["m_mult"] * n, seed=seed)
+    session = session_for(g, seed=seed, k=cell["k"])
+    ours = session.run("connectivity")
+    refr = session.run("referee")
+    nosk = session.run("boruvka_nosketch")
+    return {
+        "sketch_rounds": int(ours.rounds),
+        "referee_rounds": int(refr.rounds),
+        "nosketch_rounds": int(nosk.rounds),
+        "sketch_bits": int(ours.total_bits),
+        "referee_bits": int(refr.total_bits),
+        "nosketch_bits": int(nosk.total_bits),
+    }
+
+
+# -- REP vs RVP partition models ---------------------------------------------
+
+
+@register_benchmark(
+    "rep_vs_rvp",
+    title="Section 1.3: random edge partition pays a Theta~(n/k) reroute",
+    group="baseline",
+    cells=[
+        {"n": n, "k": 8, "bandwidth_multiplier": 2} for n in (1024, 4096, 16384)
+    ],
+    quick_cells=[{"n": n, "k": 8, "bandwidth_multiplier": 2} for n in (512, 1024)],
+    seed=13,
+)
+def _rep_vs_rvp(cell: dict, seed: int) -> dict:
+    g = generators.gnm_random(cell["n"], 3 * cell["n"], seed=seed)
+    session = session_for(
+        g, seed=seed, k=cell["k"], bandwidth_multiplier=cell["bandwidth_multiplier"]
+    )
+    rvp = session.run("connectivity")
+    rep = session.run("rep")
+    return {
+        "rvp_rounds": int(rvp.rounds),
+        "rep_rounds": int(rep.rounds),
+        "reroute_rounds": int(rep.result["reroute_rounds"]),
+        "agree": bool(rvp.result["n_components"] == rep.result["n_components"]),
+    }

@@ -1,0 +1,54 @@
+"""Shared helpers for the built-in benchmark suites.
+
+Cell runners must be pure functions of (cell, seed); these helpers keep
+the Session plumbing and graph construction uniform across suites.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.graphs.graph import Graph
+from repro.runtime import ClusterConfig, RunConfig, Session
+
+__all__ = ["session_for", "weighted_gnm_with_mst_weight"]
+
+
+def session_for(
+    graph: Graph | None = None,
+    *,
+    seed: int,
+    k: int = 8,
+    bandwidth_bits: int | None = None,
+    bandwidth_multiplier: int = 64,
+    params: dict | None = None,
+) -> Session:
+    """A :class:`Session` with the cell's (seed, k, bandwidth) pinned."""
+    config = RunConfig(
+        seed=seed,
+        cluster=ClusterConfig(
+            k=k,
+            bandwidth_bits=bandwidth_bits,
+            bandwidth_multiplier=bandwidth_multiplier,
+        ),
+        params=dict(params or {}),
+    )
+    return Session(graph, config=config)
+
+
+@lru_cache(maxsize=4)
+def weighted_gnm_with_mst_weight(n: int, m_mult: int, seed: int):
+    """A uniquely-weighted G(n, m) plus its exact (Kruskal) MST weight.
+
+    Cached: MST grids run many cells over one (n, m_mult, seed) input, and
+    rebuilding the graph and recomputing the reference optimum per cell
+    would dominate the cheap-budget cells.  Callers must treat the graph
+    as read-only (all repo algorithms do).
+    """
+    from repro.graphs import generators
+    from repro.graphs import reference as ref
+
+    g = generators.with_unique_weights(
+        generators.gnm_random(n, m_mult * n, seed=seed), seed=seed
+    )
+    return g, ref.mst_weight(g, ref.kruskal_mst(g))

@@ -1,0 +1,58 @@
+"""Lower-bound benchmarks: the Section-4 Omega~(n/k^2) simulation argument.
+
+Theorem 5 / Figure 1: SCS instances from random-partition disjointness,
+executed by the real two-party protocol under the Alice/Bob machine split.
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import register_benchmark
+from repro.lowerbounds import make_instance, simulate_scs_protocol, trivial_protocol_bits
+
+
+@register_benchmark(
+    "scs_cut_traffic",
+    title="Theorem 5 / Figure 1: SCS cut traffic grows Omega(b)",
+    group="lowerbound",
+    cells=[{"b": b, "k": 8} for b in (64, 128, 256, 512, 1024)],
+    quick_cells=[{"b": b, "k": 8} for b in (64, 128)],
+    seed=0,
+)
+def _cut_traffic(cell: dict, seed: int) -> dict:
+    b = cell["b"]
+    out = simulate_scs_protocol(b=b, k=cell["k"], seed=seed + b, intersecting=False)
+    trivial = trivial_protocol_bits(make_instance(b, seed=seed + b, intersecting=False))
+    return {
+        "rounds": int(out.rounds),
+        "cut_bits": int(out.cut_bits),
+        "cut_bits_per_b": out.cut_bits / b,
+        "trivial_bits": int(trivial),
+        "capacity_ok": bool(out.cut_bits <= out.cut_capacity_bits),
+        "correct": bool(out.correct),
+    }
+
+
+@register_benchmark(
+    "scs_correctness",
+    title="Theorem 5: protocol correctness on disjoint and intersecting instances",
+    group="lowerbound",
+    cells=[
+        {"b": b, "k": 8, "intersecting": inter}
+        for b in (128, 512)
+        for inter in (False, True)
+    ],
+    quick_cells=[
+        {"b": 64, "k": 8, "intersecting": inter} for inter in (False, True)
+    ],
+    seed=0,
+)
+def _correctness(cell: dict, seed: int) -> dict:
+    b, inter = cell["b"], cell["intersecting"]
+    out = simulate_scs_protocol(
+        b=b, k=cell["k"], seed=seed + 7 * b + int(inter), intersecting=inter
+    )
+    return {
+        "answer": bool(out.answer),
+        "expected": bool(out.expected),
+        "correct": bool(out.correct),
+    }

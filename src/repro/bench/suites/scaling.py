@@ -1,0 +1,273 @@
+"""Scaling benchmarks: Theorems 1-4 round-complexity grids.
+
+Each registered benchmark reproduces one experiment series from
+DESIGN.md's index, with a quick tier small enough for the CI smoke job.
+The full-tier grids match the historical ``benchmarks/bench_*.py`` sweeps,
+so regenerated tables stay comparable with the committed results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import register_benchmark
+from repro.bench.runner import metrics_from_report
+from repro.bench.suites.common import session_for, weighted_gnm_with_mst_weight
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.topology import ClusterTopology
+from repro.core import verify
+from repro.core.mst import minimum_spanning_tree_distributed
+from repro.graphs import generators
+from repro.graphs import reference as ref
+from repro.graphs.builder import GraphBuilder
+from repro.util.bits import polylog_bandwidth
+
+# -- Theorem 1: connectivity -------------------------------------------------
+
+
+@register_benchmark(
+    "connectivity_rounds_vs_k",
+    title="Theorem 1: connectivity rounds vs k (superlinear speedup)",
+    group="scaling",
+    cells=[{"n": 4096, "m_mult": 3, "k": k} for k in (2, 4, 8, 16, 32)],
+    quick_cells=[{"n": 512, "m_mult": 3, "k": k} for k in (2, 4, 8)],
+    seed=1,
+)
+def _connectivity_vs_k(cell: dict, seed: int) -> dict:
+    n = cell["n"]
+    g = generators.gnm_random(n, cell["m_mult"] * n, seed=seed)
+    r = session_for(g, seed=seed, k=cell["k"]).run("connectivity")
+    return metrics_from_report(
+        r, phases=r.result["phases"], n_components=r.result["n_components"]
+    )
+
+
+@register_benchmark(
+    "connectivity_rounds_vs_n",
+    title="Theorem 1: connectivity work rounds vs n at fixed k and bandwidth",
+    group="scaling",
+    cells=[
+        {"n": n, "m_mult": 3, "k": 8, "bandwidth_bits": polylog_bandwidth(8192)}
+        for n in (1024, 2048, 4096, 8192)
+    ],
+    quick_cells=[
+        {"n": n, "m_mult": 3, "k": 8, "bandwidth_bits": polylog_bandwidth(512)}
+        for n in (256, 512)
+    ],
+    seed=2,
+)
+def _connectivity_vs_n(cell: dict, seed: int) -> dict:
+    n = cell["n"]
+    g = generators.gnm_random(n, cell["m_mult"] * n, seed=seed)
+    session = session_for(g, seed=seed, k=cell["k"], bandwidth_bits=cell["bandwidth_bits"])
+    r = session.run("connectivity")
+    return metrics_from_report(
+        r, phases=r.result["phases"], n_components=r.result["n_components"]
+    )
+
+
+# -- Theorem 2: MST ----------------------------------------------------------
+
+
+@register_benchmark(
+    "mst_rounds_vs_k",
+    title="Theorem 2a: MST rounds vs k, exact at every point",
+    group="scaling",
+    cells=[{"n": 2048, "m_mult": 4, "k": k} for k in (2, 4, 8, 16)],
+    quick_cells=[{"n": 256, "m_mult": 4, "k": k} for k in (2, 4)],
+    seed=5,
+)
+def _mst_vs_k(cell: dict, seed: int) -> dict:
+    g, want = weighted_gnm_with_mst_weight(cell["n"], cell["m_mult"], seed)
+    r = session_for(g, seed=seed, k=cell["k"]).run("mst")
+    return metrics_from_report(
+        r,
+        phases=r.result["phases"],
+        certified=bool(r.result["certified"]),
+        exact=bool(r.result["total_weight"] == want),
+    )
+
+
+@register_benchmark(
+    "mst_strict_vs_relaxed",
+    title="Theorem 2b: strict MST output pays Omega~(n/k) announce cost on stars",
+    group="scaling",
+    cells=[
+        {"n": n, "k": 8, "bandwidth_bits": polylog_bandwidth(32768)}
+        for n in (2048, 8192, 32768)
+    ],
+    quick_cells=[
+        {"n": n, "k": 8, "bandwidth_bits": polylog_bandwidth(2048)} for n in (512, 2048)
+    ],
+    seed=6,
+)
+def _mst_strict_vs_relaxed(cell: dict, seed: int) -> dict:
+    # Direct API: this series inspects individual ledger steps (the
+    # strict-output announcements), which the RunReport envelope aggregates.
+    n, k = cell["n"], cell["k"]
+    topo = ClusterTopology(k=k, bandwidth_bits=cell["bandwidth_bits"])
+    g = generators.with_unique_weights(generators.star_graph(n), seed=seed)
+    cl = KMachineCluster.create(g, k=k, seed=seed, topology=topo)
+    relaxed = minimum_spanning_tree_distributed(cl, seed=seed, output="relaxed")
+    cl2 = KMachineCluster.create(g, k=k, seed=seed, topology=topo)
+    strict = minimum_spanning_tree_distributed(cl2, seed=seed, output="strict")
+    strict_steps = [s for s in cl2.ledger.steps if s.label.startswith("strict-output")]
+    return {
+        "relaxed_rounds": int(relaxed.rounds),
+        "strict_rounds": int(strict.rounds),
+        "announce_work": int(sum(max(0, s.rounds - 1) for s in strict_steps)),
+        "announce_bits": int(sum(s.total_bits for s in strict_steps)),
+    }
+
+
+# -- Theorem 3: min-cut ------------------------------------------------------
+
+
+@register_benchmark(
+    "mincut_approx_factor",
+    title="Theorem 3: min-cut estimate vs planted cuts (median over seeds)",
+    group="scaling",
+    cells=[
+        {"n": 400, "cut": c, "inner_degree": 48, "k": 8, "n_seeds": 3} for c in (2, 8, 32)
+    ],
+    quick_cells=[
+        {"n": 200, "cut": c, "inner_degree": 24, "k": 4, "n_seeds": 2} for c in (2, 8)
+    ],
+    seed=0,
+)
+def _mincut_factor(cell: dict, seed: int) -> dict:
+    c = cell["cut"]
+    g = generators.planted_cut_graph(
+        cell["n"], cut_size=c, inner_degree=cell["inner_degree"], seed=c
+    )
+    truth = ref.stoer_wagner_mincut(g)
+    session = session_for(g, seed=seed, k=cell["k"])
+    estimates = [
+        session.run("mincut", seed=seed + 1 + s).result["estimate"]
+        for s in range(cell["n_seeds"])
+    ]
+    med = float(np.median(estimates))
+    return {
+        "true_cut": int(truth),
+        "median_estimate": med,
+        "factor": med / truth,
+    }
+
+
+@register_benchmark(
+    "mincut_rounds_vs_k",
+    title="Theorem 3: min-cut rounds vs k",
+    group="scaling",
+    cells=[
+        {"n": 2048, "cut": 4, "inner_degree": 12, "k": k} for k in (2, 4, 8, 16)
+    ],
+    quick_cells=[{"n": 256, "cut": 4, "inner_degree": 8, "k": k} for k in (2, 4)],
+    seed=7,
+)
+def _mincut_vs_k(cell: dict, seed: int) -> dict:
+    g = generators.planted_cut_graph(
+        cell["n"], cut_size=cell["cut"], inner_degree=cell["inner_degree"], seed=seed
+    )
+    r = session_for(g, seed=seed, k=cell["k"]).run("mincut")
+    return metrics_from_report(r, disconnect_level=r.result["disconnect_level"])
+
+
+# -- Theorem 4: verification -------------------------------------------------
+
+
+def _connected_gnm(n: int, m: int, seed: int):
+    """G(n, m) overlaid with a random spanning tree (connected for sure)."""
+    g = generators.gnm_random(n, m, seed=seed)
+    t = generators.random_spanning_tree(n, seed=seed + 1)
+    b = GraphBuilder(n)
+    b.add_edges(g.edges_u, g.edges_v)
+    b.add_edges(t.edges_u, t.edges_v)
+    return b.build()
+
+
+def _verification_instance(problem: str, positive: bool, n: int, seed: int):
+    """(graph, runner) for one verification problem instance."""
+    if problem == "spanning_connected_subgraph":
+        g = _connected_gnm(n, 4 * n, seed=seed)
+        kr = ref.kruskal_mst(g)
+        span = np.zeros(g.m, dtype=bool)
+        span[kr] = True
+        if not positive:
+            span[kr[0]] = False
+        return g, lambda c: verify.spanning_connected_subgraph(c, span, seed=seed)
+    if problem == "cut":
+        path = generators.path_graph(n)
+        mask = np.zeros(path.m, dtype=bool)
+        mask[path.find_edge_id(n // 2, n // 2 + 1)] = True
+        return path, lambda c: verify.cut_verification(c, mask, seed=seed)
+    if problem == "st_connectivity":
+        g = _connected_gnm(n, 4 * n, seed=seed)
+        return g, lambda c: verify.st_connectivity(c, 0, n - 1, seed=seed)
+    if problem == "st_cut":
+        path = generators.path_graph(n)
+        mask = np.zeros(path.m, dtype=bool)
+        mask[path.find_edge_id(n // 2, n // 2 + 1)] = True
+        return path, lambda c: verify.st_cut_verification(c, mask, 0, n - 1, seed=seed)
+    if problem == "edge_on_all_paths":
+        path = generators.path_graph(n)
+        return path, lambda c: verify.edge_on_all_paths(
+            c, n // 2, n // 2 + 1, 0, n - 1, seed=seed
+        )
+    if problem == "cycle_containment":
+        g = generators.cycle_graph(n) if positive else generators.path_graph(n)
+        return g, lambda c: verify.cycle_containment(c, seed=seed)
+    if problem == "e_cycle_containment":
+        g = generators.cycle_graph(n) if positive else generators.path_graph(n)
+        return g, lambda c: verify.e_cycle_containment(c, 0, 1, seed=seed)
+    if problem == "bipartiteness":
+        if positive:
+            g = generators.cycle_graph(n if n % 2 == 0 else n + 1)
+        else:
+            g = generators.complete_graph(min(n, 64))
+        return g, lambda c: verify.bipartiteness(c, seed=seed)
+    raise ValueError(f"unknown verification problem {problem!r}")
+
+
+#: (problem, positive) instances covering all eight Theorem-4 reductions.
+VERIFICATION_CASES = (
+    ("spanning_connected_subgraph", True),
+    ("spanning_connected_subgraph", False),
+    ("cut", True),
+    ("st_connectivity", True),
+    ("st_cut", True),
+    ("edge_on_all_paths", True),
+    ("cycle_containment", True),
+    ("cycle_containment", False),
+    ("e_cycle_containment", True),
+    ("e_cycle_containment", False),
+    ("bipartiteness", True),
+    ("bipartiteness", False),
+)
+
+
+@register_benchmark(
+    "verification_problems",
+    title="Theorem 4: eight verification problems at two values of k",
+    group="scaling",
+    cells=[
+        {"problem": p, "positive": pos, "n": 512, "ks": [4, 16]}
+        for p, pos in VERIFICATION_CASES
+    ],
+    quick_cells=[
+        {"problem": p, "positive": pos, "n": 128, "ks": [4, 16]}
+        for p, pos in VERIFICATION_CASES
+    ],
+    seed=11,
+)
+def _verification(cell: dict, seed: int) -> dict:
+    g, runner = _verification_instance(cell["problem"], cell["positive"], cell["n"], seed)
+    metrics: dict = {"expected": bool(cell["positive"])}
+    for k in cell["ks"]:
+        cl = KMachineCluster.create(g, k=int(k), seed=seed)
+        res = runner(cl)
+        metrics[f"rounds_k{k}"] = int(res.rounds)
+        metrics[f"answer_k{k}"] = bool(res.answer)
+    metrics["correct"] = all(
+        metrics[f"answer_k{k}"] == metrics["expected"] for k in cell["ks"]
+    )
+    return metrics

@@ -7,6 +7,13 @@ Subcommands
   summary (``--json`` emits the full RunReport envelope).
 * ``repro sweep <algorithm>`` — grid over ``--ks`` / ``--seeds`` / ``--ns``
   with optional ``--processes`` fan-out; prints one line per grid point.
+* ``repro bench list|run|compare`` — the benchmark subsystem: run
+  registered scenario grids into ``BENCH_<name>.json`` artifacts and gate
+  a fresh run against a committed baseline (see DESIGN.md, "Benchmarks &
+  perf gating").
+
+Exit codes: 0 success; 1 domain failure (a verification answered False, a
+perf gate regressed); 2 usage error (unknown name, invalid config).
 
 Examples::
 
@@ -15,6 +22,8 @@ Examples::
     python -m repro run mst --n 500 --k 8 --seed 3 --json report.json
     python -m repro run verify --n 200 --param problem=cycle_containment
     python -m repro sweep connectivity --n 1000 --ks 2,4,8 --seeds 0,1,2
+    python -m repro bench run --quick --all
+    python -m repro bench compare . fresh-artifacts/ --wall-tolerance 1.0
 """
 
 from __future__ import annotations
@@ -193,6 +202,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(report.summary())
     if args.json:
         _emit_json([report], args.json, as_array=False)
+    # A False verification answer is a domain failure: scripts chaining
+    # `repro run verify ...` must see it in the exit status, not just in
+    # the printed envelope.
+    if report.result.get("answer") is False:
+        return 1
     return 0
 
 
@@ -221,6 +235,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(report.summary())
     if args.json:
         _emit_json(reports, args.json, as_array=True)
+    return 0
+
+
+def _cmd_bench_list(_args: argparse.Namespace) -> int:
+    from repro.bench import get_benchmark, list_benchmarks
+
+    names = list_benchmarks()
+    width = max(len(n) for n in names)
+    for name in names:
+        spec = get_benchmark(name)
+        grids = f"{len(spec.cells)} cells / {len(spec.quick_cells)} quick"
+        print(f"{name:<{width}}  {spec.group:<10}  {grids:<20}  {spec.title}")
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import list_benchmarks, run_all
+
+    if args.all:
+        names = list_benchmarks()
+    elif args.names:
+        names = args.names
+    else:
+        print("error: name at least one benchmark or pass --all", file=sys.stderr)
+        return 2
+    tier = "quick" if args.quick else "full"
+    progress = None if args.quiet else print
+    results = run_all(
+        names,
+        tier=tier,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        progress=progress,
+        force=args.force,
+    )
+    for result in results:
+        print(result.summary())
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import Thresholds, compare_paths
+
+    thresholds = Thresholds(
+        metric_rel_tol=args.rel_tol, wall_rel_tol=args.wall_tolerance
+    )
+    comparisons = compare_paths(args.baseline, args.current, thresholds)
+    failed = 0
+    for cmp in comparisons:
+        print(cmp.render())
+        failed += 0 if cmp.ok else 1
+    total = sum(c.cells_compared for c in comparisons)
+    if failed:
+        print(f"PERF GATE FAILED: {failed}/{len(comparisons)} benchmarks regressed")
+        return 1
+    print(f"perf gate ok: {len(comparisons)} benchmarks, {total} cells compared")
     return 0
 
 
@@ -253,6 +323,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None, help="process-pool width (default: sequential)"
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_bench = sub.add_parser("bench", help="benchmark subsystem (list/run/compare)")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    pb_list = bench_sub.add_parser("list", help="list registered benchmarks")
+    pb_list.set_defaults(func=_cmd_bench_list)
+
+    pb_run = bench_sub.add_parser(
+        "run", help="run benchmarks and write BENCH_<name>.json artifacts"
+    )
+    pb_run.add_argument("names", nargs="*", help="benchmark names (see 'bench list')")
+    pb_run.add_argument("--all", action="store_true", help="run every registered benchmark")
+    pb_run.add_argument(
+        "--quick", action="store_true", help="run the CI-sized quick tier instead of full"
+    )
+    pb_run.add_argument("--seed", type=int, default=None, help="override the spec's base seed")
+    pb_run.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for BENCH_<name>.json artifacts (default: current directory)",
+    )
+    pb_run.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    pb_run.add_argument(
+        "--force",
+        action="store_true",
+        help="allow overwriting an existing artifact recorded at a different tier",
+    )
+    pb_run.set_defaults(func=_cmd_bench_run)
+
+    pb_cmp = bench_sub.add_parser(
+        "compare", help="diff two BENCH_*.json files (or artifact directories)"
+    )
+    pb_cmp.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    pb_cmp.add_argument("current", help="current BENCH_*.json file or directory")
+    pb_cmp.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help="relative tolerance on numeric metrics (default 0.0 = exact match)",
+    )
+    pb_cmp.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        help="allowed relative wall-time growth per cell, e.g. 0.5 = +50%% "
+        "(default: wall time ignored)",
+    )
+    pb_cmp.set_defaults(func=_cmd_bench_compare)
     return parser
 
 

@@ -28,7 +28,7 @@ path (order and content) — only wall time differs.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 from repro.cluster.cluster import KMachineCluster
 from repro.graphs.graph import Graph

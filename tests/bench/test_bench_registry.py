@@ -1,0 +1,81 @@
+"""Registry round-trip and spec invariants over every registered benchmark."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import get_benchmark, list_benchmarks, register_benchmark
+from repro.bench.registry import BENCH_GROUPS
+
+
+def test_registry_is_populated():
+    # The migrated benchmarks/bench_*.py grids: at least the 18 historical
+    # scripts' worth of registered entries.
+    assert len(list_benchmarks()) >= 18
+
+
+@pytest.mark.parametrize("name", list_benchmarks())
+def test_round_trip_every_name(name):
+    spec = get_benchmark(name)
+    assert spec.name == name
+    assert spec.title
+    assert spec.group in BENCH_GROUPS
+    assert callable(spec.runner)
+
+
+@pytest.mark.parametrize("name", list_benchmarks())
+def test_grids_are_json_safe_and_nonempty(name):
+    spec = get_benchmark(name)
+    assert spec.cells and spec.quick_cells
+    for cell in (*spec.cells, *spec.quick_cells):
+        json.dumps(cell)  # params must be JSON-safe as-is
+
+
+@pytest.mark.parametrize("name", list_benchmarks())
+def test_tier_selection(name):
+    spec = get_benchmark(name)
+    assert spec.cells_for("full") == spec.cells
+    assert spec.cells_for("quick") == spec.quick_cells
+    with pytest.raises(ValueError, match="tier"):
+        spec.cells_for("nope")
+
+
+def test_unknown_name_lists_options():
+    with pytest.raises(KeyError, match="available"):
+        get_benchmark("no_such_benchmark")
+
+
+def test_duplicate_registration_rejected():
+    name = list_benchmarks()[0]
+    with pytest.raises(ValueError, match="already registered"):
+        register_benchmark(
+            name,
+            title="dup",
+            group="ablation",
+            cells=[{"n": 1}],
+            quick_cells=[{"n": 1}],
+        )(lambda cell, seed: {})
+
+
+def test_bad_group_rejected():
+    with pytest.raises(ValueError, match="group"):
+        register_benchmark(
+            "bad_group_bench",
+            title="x",
+            group="nope",
+            cells=[{"n": 1}],
+            quick_cells=[{"n": 1}],
+        )(lambda cell, seed: {})
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError, match="non-empty"):
+        register_benchmark(
+            "empty_grid_bench",
+            title="x",
+            group="ablation",
+            cells=[],
+            quick_cells=[{"n": 1}],
+        )(lambda cell, seed: {})

@@ -1,0 +1,54 @@
+"""Runner behaviour: tier grids, seeds, artifacts, and metric adaptation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import get_benchmark, metrics_from_report, run_all, run_benchmark
+from repro.bench.suites.common import session_for
+from repro.graphs import generators
+
+CHEAP = ("ablation_drr_vs_naive", "proxy_load_concentration")
+
+
+def test_run_benchmark_executes_quick_grid():
+    result = run_benchmark(CHEAP[0], tier="quick")
+    spec = get_benchmark(CHEAP[0])
+    assert len(result.cells) == len(spec.quick_cells)
+    assert result.wall_time_s >= sum(c.wall_time_s for c in result.cells) * 0.5
+
+
+def test_seed_override_recorded_and_applied():
+    default = run_benchmark(CHEAP[0], tier="quick")
+    overridden = run_benchmark(CHEAP[0], tier="quick", seed=default.seed + 1)
+    assert overridden.seed == default.seed + 1
+    # The DRR depths are seed-dependent; the grids (params) are not.
+    assert [c.params for c in default.cells] == [c.params for c in overridden.cells]
+
+
+def test_run_all_writes_artifacts(tmp_path):
+    lines: list[str] = []
+    results = run_all(CHEAP, tier="quick", out_dir=tmp_path, progress=lines.append)
+    assert [r.bench for r in results] == list(CHEAP)
+    for r in results:
+        assert (tmp_path / r.filename).exists()
+    assert any("wrote" in line for line in lines)
+    assert any(line.startswith("==") for line in lines)
+
+
+def test_run_all_defaults_to_every_benchmark_names_only():
+    # Don't execute the full registry here; just check name resolution.
+    with pytest.raises(KeyError, match="available"):
+        run_all(["definitely_not_registered"], tier="quick")
+
+
+def test_metrics_from_report_vocabulary():
+    g = generators.gnm_random(64, 192, seed=0)
+    report = session_for(g, seed=0, k=4).run("connectivity")
+    metrics = metrics_from_report(report, phases=report.result["phases"])
+    assert metrics["rounds"] == report.rounds
+    assert metrics["work_rounds"] == report.work_rounds
+    assert metrics["total_bits"] == report.total_bits
+    assert metrics["n_steps"] > 0
+    assert metrics["max_machine_received_bits"] > 0
+    assert metrics["phases"] == report.result["phases"]

@@ -1,0 +1,139 @@
+"""CLI tests for ``repro bench {list,run,compare}`` and run exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import BenchResult, list_benchmarks
+from repro.cli import main
+
+CHEAP = "ablation_drr_vs_naive"
+
+
+def test_bench_list_names_every_benchmark(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in list_benchmarks():
+        assert name in out
+
+
+def test_bench_run_writes_valid_artifact(tmp_path, capsys):
+    code = main(
+        ["bench", "run", CHEAP, "--quick", "--out-dir", str(tmp_path), "--quiet"]
+    )
+    assert code == 0
+    result = BenchResult.load(tmp_path / f"BENCH_{CHEAP}.json")
+    assert result.bench == CHEAP
+    assert result.tier == "quick"
+    assert result.cells
+    assert CHEAP in capsys.readouterr().out
+
+
+def test_bench_run_requires_names_or_all(capsys):
+    assert main(["bench", "run"]) == 2
+    assert "--all" in capsys.readouterr().err
+
+
+def test_bench_run_unknown_name_fails_cleanly(capsys):
+    assert main(["bench", "run", "nope", "--quick"]) == 2
+    assert "available" in capsys.readouterr().err
+
+
+def test_bench_compare_pass_and_injected_regression(tmp_path, capsys):
+    base_dir = tmp_path / "base"
+    cur_dir = tmp_path / "cur"
+    for out in (base_dir, cur_dir):
+        assert (
+            main(["bench", "run", CHEAP, "--quick", "--out-dir", str(out), "--quiet"])
+            == 0
+        )
+    assert main(["bench", "compare", str(base_dir), str(cur_dir)]) == 0
+    assert "perf gate ok" in capsys.readouterr().out
+
+    # Inject a regression into the current artifact: the gate must trip.
+    path = cur_dir / f"BENCH_{CHEAP}.json"
+    data = json.loads(path.read_text())
+    data["cells"][0]["metrics"]["drr_max_depth"] += 1
+    path.write_text(json.dumps(data))
+    assert main(["bench", "compare", str(base_dir), str(cur_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "PERF GATE FAILED" in out
+
+
+def test_bench_compare_wall_tolerance(tmp_path, capsys):
+    base_dir = tmp_path / "base"
+    cur_dir = tmp_path / "cur"
+    for out in (base_dir, cur_dir):
+        main(["bench", "run", CHEAP, "--quick", "--out-dir", str(out), "--quiet"])
+    path = cur_dir / f"BENCH_{CHEAP}.json"
+    data = json.loads(path.read_text())
+    base_path = base_dir / f"BENCH_{CHEAP}.json"
+    base_data = json.loads(base_path.read_text())
+    data["cells"][0]["wall_time_s"] = base_data["cells"][0]["wall_time_s"] * 100 + 1.0
+    path.write_text(json.dumps(data))
+    capsys.readouterr()
+    # Ignored by default, gated with --wall-tolerance.
+    assert main(["bench", "compare", str(base_dir), str(cur_dir)]) == 0
+    assert main(
+        ["bench", "compare", str(base_dir), str(cur_dir), "--wall-tolerance", "0.5"]
+    ) == 1
+
+
+def test_bench_run_refuses_cross_tier_overwrite(tmp_path, capsys):
+    # Quick-tier baselines in a directory must not be silently replaced by
+    # a full-tier run (the `bench run --all` at repo root footgun).
+    assert (
+        main(["bench", "run", CHEAP, "--quick", "--out-dir", str(tmp_path), "--quiet"])
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["bench", "run", CHEAP, "--out-dir", str(tmp_path), "--quiet"]) == 2
+    err = capsys.readouterr().err
+    assert "refusing to overwrite" in err and "--force" in err
+    # --force (or matching tier) goes through.
+    assert (
+        main(["bench", "run", CHEAP, "--out-dir", str(tmp_path), "--quiet", "--force"])
+        == 0
+    )
+    result = BenchResult.load(tmp_path / f"BENCH_{CHEAP}.json")
+    assert result.tier == "full"
+
+
+def test_run_verify_failure_exits_nonzero(capsys):
+    # A cycle-containment query on a path graph answers False: the exit
+    # code must say so (the satellite fix this test pins).
+    code = main(
+        [
+            "run",
+            "verify",
+            "--graph",
+            "path",
+            "--n",
+            "40",
+            "--k",
+            "4",
+            "--param",
+            "problem=cycle_containment",
+        ]
+    )
+    assert code == 1
+    assert "answer=False" in capsys.readouterr().out
+
+
+def test_run_verify_success_still_exits_zero(capsys):
+    code = main(
+        [
+            "run",
+            "verify",
+            "--graph",
+            "cycle",
+            "--n",
+            "40",
+            "--k",
+            "4",
+            "--param",
+            "problem=cycle_containment",
+        ]
+    )
+    assert code == 0
+    assert "answer=True" in capsys.readouterr().out

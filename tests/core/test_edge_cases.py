@@ -8,7 +8,6 @@ clusters, minimal bandwidth, and degenerate graphs must all stay correct.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.cluster import ClusterTopology, KMachineCluster
 from repro.core import (

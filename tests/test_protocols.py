@@ -10,7 +10,6 @@ from repro.cluster.engine import SyncEngine
 from repro.graphs import generators as gen
 from repro.graphs import reference as ref
 from repro.protocols import (
-    BFSProgram,
     LeaderElectionProgram,
     bfs_distances_distributed,
     charge_leader_election,
