@@ -1,0 +1,76 @@
+"""EXP S1/S2 — scenario engine: faults and partition skew (DESIGN.md §7).
+
+Thin wrappers over the registered ``scenario_fault_overhead`` /
+``scenario_partition_skew`` grids (see ``repro.bench.suites.scenarios``).
+The qualitative claims asserted here:
+
+* every cell stays *correct* — hostile conditions degrade rounds, never
+  answers (the differential suite checks this exhaustively at small n;
+  the benchmark pins it at paper scale);
+* fault overhead is monotone in fault intensity, and zero-fault cells
+  carry zero fault rounds;
+* the uniform RVP is the best-balanced placement — every skewed scheme
+  concentrates at least as many incidences on its hottest machine.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import report, run_registered
+from repro.analysis import format_table
+
+
+def test_fault_overhead(benchmark):
+    result = run_registered(benchmark, "scenario_fault_overhead")
+    rows = [
+        (
+            c.params["drop"],
+            c.params["stall"],
+            c.metrics["rounds"],
+            c.metrics["fault_rounds"],
+            c.metrics["correct"],
+        )
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
+    k = result.cells[0].params["k"]
+    table = format_table(
+        ["drop", "stall", "rounds", "fault rounds", "correct"],
+        rows,
+        title=f"S1 - connectivity under seeded faults (n={n}, k={k})",
+    )
+    report("S1_fault_overhead", table)
+    assert all(r[4] for r in rows), "a faulted run answered incorrectly"
+    assert rows[0][3] == 0, "fault-free cell charged fault rounds"
+    fault_rounds = [r[3] for r in rows]
+    assert fault_rounds == sorted(fault_rounds), "overhead not monotone in intensity"
+    assert fault_rounds[-1] > 0, "heaviest plan injected nothing"
+
+
+def test_partition_skew(benchmark):
+    result = run_registered(benchmark, "scenario_partition_skew")
+    rows = [
+        (
+            c.params["scheme"],
+            c.metrics["rounds"],
+            c.metrics["vertices_max"],
+            c.metrics["incidences_max"],
+            c.metrics["correct"],
+        )
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
+    k = result.cells[0].params["k"]
+    table = format_table(
+        ["scheme", "rounds", "max vertices/machine", "max incidences/machine", "correct"],
+        rows,
+        title=f"S2 - connectivity under skewed placement (n={n}, k={k})",
+    )
+    report("S2_partition_skew", table)
+    assert all(r[4] for r in rows), "a skewed run answered incorrectly"
+    by_scheme = {r[0]: r for r in rows}
+    uniform_inc = by_scheme["uniform"][3]
+    # powerlaw and adversarial_heavy concentrate load by construction;
+    # locality is near-perfectly *balanced* on random inputs (its hostility
+    # is placement correlation, not imbalance), so it is exempt here.
+    for scheme in ("powerlaw", "adversarial_heavy"):
+        assert by_scheme[scheme][3] > uniform_inc, f"{scheme} did not concentrate load"

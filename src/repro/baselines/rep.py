@@ -90,12 +90,28 @@ def _rep_topology(k: int, bandwidth_bits: int | None) -> ClusterTopology | None:
     return None if bandwidth_bits is None else ClusterTopology(k=k, bandwidth_bits=bandwidth_bits)
 
 
+def _attach_rep_faults(cluster: KMachineCluster, faults, seed: int) -> None:
+    """Attach a fault model to the internal REP cluster's ledger, if any.
+
+    The REP baseline owns its cluster, so the registry cannot weave the
+    run's :class:`~repro.scenarios.faults.FaultPlan` in from the outside;
+    this threads it through explicitly (same hostile network, same
+    determinism contract).
+    """
+    if faults is None:
+        return
+    from repro.scenarios.faults import FaultModel
+
+    cluster.ledger.attach_faults(FaultModel(faults, seed))
+
+
 def rep_connectivity(
     graph: Graph,
     k: int,
     seed: int = 0,
     bandwidth_multiplier: int = 64,
     bandwidth_bits: int | None = None,
+    faults=None,
     **kw: object,
 ) -> REPResult:
     """Connectivity under the REP model: filter -> reroute -> RVP algorithm."""
@@ -109,6 +125,7 @@ def rep_connectivity(
         bandwidth_multiplier=bandwidth_multiplier,
         topology=_rep_topology(k, bandwidth_bits),
     )
+    _attach_rep_faults(cluster, faults, seed)
     reroute_rounds = _charge_reroute(cluster, graph, keep, edge_machine)
     res = connected_components_distributed(cluster, seed=derive_seed(seed, 0xE2), **kw)  # type: ignore[arg-type]
     return REPResult(
@@ -127,6 +144,7 @@ def rep_mst(
     seed: int = 0,
     bandwidth_multiplier: int = 64,
     bandwidth_bits: int | None = None,
+    faults=None,
     **kw: object,
 ) -> REPResult:
     """MST under the REP model: the footnote-5 filter-and-convert algorithm.
@@ -146,6 +164,7 @@ def rep_mst(
         bandwidth_multiplier=bandwidth_multiplier,
         topology=_rep_topology(k, bandwidth_bits),
     )
+    _attach_rep_faults(cluster, faults, seed)
     reroute_rounds = _charge_reroute(cluster, graph, keep, edge_machine)
     res = minimum_spanning_tree_distributed(cluster, seed=derive_seed(seed, 0xE6), **kw)  # type: ignore[arg-type]
     return REPResult(

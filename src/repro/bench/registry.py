@@ -82,7 +82,7 @@ class BenchSpec:
         return self.quick_cells if tier == "quick" else self.cells
 
 
-BENCH_GROUPS = ("scaling", "baseline", "ablation", "structure", "lowerbound")
+BENCH_GROUPS = ("scaling", "baseline", "ablation", "structure", "lowerbound", "scenario")
 
 
 def register_benchmark(

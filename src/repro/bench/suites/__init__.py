@@ -10,4 +10,5 @@ import repro.bench.suites.ablations  # noqa: F401
 import repro.bench.suites.baselines  # noqa: F401
 import repro.bench.suites.lowerbound  # noqa: F401
 import repro.bench.suites.scaling  # noqa: F401
+import repro.bench.suites.scenarios  # noqa: F401
 import repro.bench.suites.structure  # noqa: F401

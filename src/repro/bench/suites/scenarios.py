@@ -1,0 +1,100 @@
+"""Scenario benchmarks: cost of hostile conditions, perf-gated like any other.
+
+Two quick-tier grids pin down what the adversarial engine (DESIGN.md §7)
+costs and that it never costs correctness:
+
+* ``scenario_fault_overhead`` — connectivity on G(n, 3n) under a seeded
+  :class:`~repro.scenarios.faults.FaultPlan` of increasing intensity; the
+  gated metrics include the injected ``fault_rounds`` and a ``correct``
+  flag against the union-find reference, so a drift in either the fault
+  realization or the answer fails CI.
+* ``scenario_partition_skew`` — connectivity under each placement scheme
+  in :data:`~repro.cluster.partition.PARTITION_SCHEMES`; gates the round
+  degradation and the placement balance (``vertices_max`` /
+  ``incidences_max``), the quantities the paper's RVP lemmas bound for
+  the uniform case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import register_benchmark
+from repro.bench.runner import metrics_from_report
+from repro.cluster.partition import PARTITION_SCHEMES, PartitionConfig, build_partition
+from repro.graphs import generators
+from repro.graphs import reference as ref
+from repro.runtime.config import ClusterConfig, FaultPlan, RunConfig
+from repro.runtime.session import Session
+from repro.util.rng import derive_seed
+
+__all__: list[str] = []
+
+
+def _input_graph(n: int, seed: int):
+    return generators.gnm_random(n, 3 * n, seed=derive_seed(seed, n, 0x5CE))
+
+
+@register_benchmark(
+    "scenario_fault_overhead",
+    title="Scenario engine: round overhead of seeded link/machine faults",
+    group="scenario",
+    cells=[
+        {"n": 2048, "k": 8, "drop": drop, "stall": stall}
+        for drop, stall in ((0.0, 0.0), (0.05, 0.0), (0.1, 0.05), (0.2, 0.1))
+    ],
+    quick_cells=[
+        {"n": 256, "k": 4, "drop": drop, "stall": stall}
+        for drop, stall in ((0.0, 0.0), (0.1, 0.05))
+    ],
+    seed=7,
+)
+def _fault_overhead(cell: dict, seed: int) -> dict:
+    n, k = int(cell["n"]), int(cell["k"])
+    drop, stall = float(cell["drop"]), float(cell["stall"])
+    g = _input_graph(n, seed)
+    faults = None
+    if drop > 0.0 or stall > 0.0:
+        faults = FaultPlan(
+            drop_prob=drop, dup_prob=drop / 5, stall_prob=stall, max_stall_rounds=2
+        )
+    config = RunConfig(seed=seed, cluster=ClusterConfig(k=k), faults=faults)
+    report = Session(g, config=config).run("connectivity")
+    faults_section = report.ledger.get("faults", {})
+    return metrics_from_report(
+        report,
+        fault_rounds=int(faults_section.get("fault_rounds", 0)),
+        fault_events=int(faults_section.get("n_events", 0)),
+        correct=report.result["n_components"] == ref.count_components(g),
+    )
+
+
+@register_benchmark(
+    "scenario_partition_skew",
+    title="Scenario engine: round degradation under skewed vertex placement",
+    group="scenario",
+    cells=[{"n": 2048, "k": 8, "scheme": s} for s in PARTITION_SCHEMES],
+    quick_cells=[{"n": 256, "k": 4, "scheme": s} for s in PARTITION_SCHEMES],
+    seed=7,
+)
+def _partition_skew(cell: dict, seed: int) -> dict:
+    n, k, scheme = int(cell["n"]), int(cell["k"]), str(cell["scheme"])
+    g = _input_graph(n, seed)
+    pconfig = PartitionConfig(scheme=scheme)
+    config = RunConfig(
+        seed=seed, cluster=ClusterConfig(k=k, partition=pconfig)
+    )
+    report = Session(g, config=config).run("connectivity")
+    # Placement balance: the quantity the RVP lemmas bound for 'uniform'
+    # and the skew schemes deliberately break.
+    partition = build_partition(g, k, seed, pconfig)
+    counts = partition.counts()
+    inc = np.bincount(partition.home[g.edges_u], minlength=k) + np.bincount(
+        partition.home[g.edges_v], minlength=k
+    )
+    return metrics_from_report(
+        report,
+        vertices_max=int(counts.max()),
+        incidences_max=int(inc.max()),
+        correct=report.result["n_components"] == ref.count_components(g),
+    )

@@ -11,6 +11,9 @@ Subcommands
   registered scenario grids into ``BENCH_<name>.json`` artifacts and gate
   a fresh run against a committed baseline (see DESIGN.md, "Benchmarks &
   perf gating").
+* ``repro scenarios list`` — the adversarial scenario registry; pair with
+  ``repro run <algorithm> --scenario <name>`` to run any algorithm under
+  faults, partition skew and worst-case inputs (DESIGN.md §7).
 
 Exit codes: 0 success; 1 domain failure (a verification answered False, a
 perf gate regressed); 2 usage error (unknown name, invalid config).
@@ -22,6 +25,8 @@ Examples::
     python -m repro run mst --n 500 --k 8 --seed 3 --json report.json
     python -m repro run verify --n 200 --param problem=cycle_containment
     python -m repro sweep connectivity --n 1000 --ks 2,4,8 --seeds 0,1,2
+    python -m repro scenarios list
+    python -m repro run connectivity --n 500 --scenario worst_case_storm
     python -m repro bench run --quick --all
     python -m repro bench compare . fresh-artifacts/ --wall-tolerance 1.0
 """
@@ -52,16 +57,53 @@ _CLUSTER_DEFAULTS = ClusterConfig()
 
 __all__ = ["main"]
 
-#: Graph families constructible from (n, m, seed) on the command line.
-GRAPH_KINDS = ("gnm", "path", "cycle", "star", "grid", "powerlaw", "geometric")
+#: Graph families constructible from (n, m, seed) on the command line
+#: (the worst-case scenario families are addressable directly too).
+GRAPH_KINDS = (
+    "gnm",
+    "path",
+    "cycle",
+    "star",
+    "grid",
+    "powerlaw",
+    "geometric",
+    "lollipop",
+    "barbell",
+    "expander_bridge",
+    "disjoint_cliques",
+    "star_of_paths",
+)
+
+#: Families routed through the worst-case registry in graphs.generators.
+_WORST_CASE_KINDS = ("lollipop", "barbell", "expander_bridge", "disjoint_cliques", "star_of_paths")
+
+
+def _scenario_of(args: argparse.Namespace):
+    """The resolved --scenario (or None), via the scenario registry."""
+    name = getattr(args, "scenario", None)
+    if name is None:
+        return None
+    from repro.scenarios.registry import get_scenario
+
+    return get_scenario(name)
 
 
 def _build_graph(args: argparse.Namespace, seed: int, *, n: int | None = None) -> Graph:
-    """Build the input graph named by ``--graph`` (size overridable for sweeps)."""
+    """Build the input graph named by ``--graph`` (size overridable for sweeps).
+
+    With ``--scenario`` and no explicit ``--graph``, the scenario's graph
+    family wins (an explicit ``--graph`` overrides it).
+    """
     n = int(args.n if n is None else n)
     kind = args.graph
     gseed = args.graph_seed if args.graph_seed is not None else seed
-    if kind == "gnm":
+    scenario = _scenario_of(args)
+    if scenario is not None and kind is None:
+        kind = "scenario"
+    kind = "gnm" if kind is None else kind
+    if kind == "scenario":
+        g = scenario.make_graph(n, gseed)
+    elif kind == "gnm":
         m = args.m if args.m is not None else 3 * n
         g = generators.gnm_random(n, int(m), seed=gseed)
     elif kind == "path":
@@ -77,6 +119,8 @@ def _build_graph(args: argparse.Namespace, seed: int, *, n: int | None = None) -
         g = generators.powerlaw_preferential(n, attach=2, seed=gseed)
     elif kind == "geometric":
         g = generators.random_geometric(n, radius=args.radius, seed=gseed)
+    elif kind in _WORST_CASE_KINDS:
+        g = generators.worst_case_graph(kind, n, seed=gseed)
     else:  # pragma: no cover - argparse choices guard this
         raise ValueError(f"unknown graph kind {kind!r}")
     params = dict(args.param or [])
@@ -103,7 +147,7 @@ def _parse_param(text: str):
 
 
 def _config_from_args(args: argparse.Namespace) -> RunConfig:
-    return RunConfig(
+    config = RunConfig(
         seed=args.seed,
         sketch=SketchConfig(repetitions=args.repetitions, hash_family=args.hash_family),
         cluster=ClusterConfig(
@@ -114,6 +158,10 @@ def _config_from_args(args: argparse.Namespace) -> RunConfig:
         max_phases=args.max_phases,
         params=dict(args.param or []),
     ).validate()
+    scenario = _scenario_of(args)
+    if scenario is not None:
+        config = scenario.apply(config)
+    return config
 
 
 def _int_list(text: str) -> list[int]:
@@ -122,7 +170,20 @@ def _int_list(text: str) -> list[int]:
 
 def _add_run_options(p: argparse.ArgumentParser) -> None:
     graph = p.add_argument_group("graph construction")
-    graph.add_argument("--graph", choices=GRAPH_KINDS, default="gnm", help="graph family")
+    graph.add_argument(
+        "--graph",
+        choices=GRAPH_KINDS,
+        default=None,
+        help="graph family (default gnm; overrides the --scenario family)",
+    )
+    graph.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="run under a registered adversarial scenario (see 'repro scenarios list'): "
+        "applies its partition scheme and fault plan, and supplies the input "
+        "graph unless --graph is given",
+    )
     graph.add_argument("--n", type=int, default=1000, help="vertices (default 1000)")
     graph.add_argument("--m", type=int, default=None, help="edges for gnm (default 3n)")
     graph.add_argument("--radius", type=float, default=0.08, help="radius for geometric")
@@ -238,6 +299,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_list(_args: argparse.Namespace) -> int:
+    from repro.scenarios.registry import get_scenario, list_scenarios
+
+    names = list_scenarios()
+    width = max(len(n) for n in names)
+    for name in names:
+        sc = get_scenario(name)
+        axes = []
+        if sc.family is not None:
+            axes.append(f"graph={sc.family}")
+        if sc.partition.scheme != "uniform":
+            axes.append(f"partition={sc.partition.scheme}")
+        if sc.faults is not None:
+            axes.append("faults")
+        tag = ",".join(axes) or "benign"
+        print(f"{name:<{width}}  {tag:<32}  {sc.summary}")
+    return 0
+
+
 def _cmd_bench_list(_args: argparse.Namespace) -> int:
     from repro.bench import get_benchmark, list_benchmarks
 
@@ -323,6 +403,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None, help="process-pool width (default: sequential)"
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_scen = sub.add_parser("scenarios", help="adversarial scenario registry")
+    scen_sub = p_scen.add_subparsers(dest="scenarios_command", required=True)
+    ps_list = scen_sub.add_parser("list", help="list registered scenarios")
+    ps_list.set_defaults(func=_cmd_scenarios_list)
 
     p_bench = sub.add_parser("bench", help="benchmark subsystem (list/run/compare)")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)

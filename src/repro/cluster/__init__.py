@@ -22,10 +22,18 @@ Layers:
 from repro.cluster.cluster import KMachineCluster
 from repro.cluster.comm import CommStep, broadcast_from_machine, disseminate_from_machine
 from repro.cluster.conversion import CongestedCliqueTrace, conversion_bound, replay_trace
-from repro.cluster.engine import Envelope, EngineResult, MachineProgram, SyncEngine
+from repro.cluster.engine import (
+    Envelope,
+    EngineResult,
+    MachineProgram,
+    RoundLimitExceeded,
+    SyncEngine,
+)
 from repro.cluster.ledger import RoundLedger, StepRecord
 from repro.cluster.partition import (
+    PartitionConfig,
     VertexPartition,
+    build_partition,
     random_edge_partition,
     random_vertex_partition,
 )
@@ -40,12 +48,15 @@ __all__ = [
     "EngineResult",
     "KMachineCluster",
     "MachineProgram",
+    "PartitionConfig",
     "RoundLedger",
+    "RoundLimitExceeded",
     "SharedRandomness",
     "StepRecord",
     "SyncEngine",
     "VertexPartition",
     "broadcast_from_machine",
+    "build_partition",
     "conversion_bound",
     "disseminate_from_machine",
     "random_edge_partition",

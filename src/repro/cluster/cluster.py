@@ -145,7 +145,9 @@ class KMachineCluster:
 
         Used by verification problems that operate on subgraphs of G: the
         vertex partition (and hence machine layout) is unchanged, and so is
-        the link bandwidth.  The new cluster gets a fresh ledger.
+        the link bandwidth.  The new cluster gets a fresh ledger — which
+        inherits this cluster's fault model, so derived instances run on
+        the same hostile network as their parent (DESIGN.md §7).
         """
         if graph.n != self.n:
             raise ValueError("vertex set must be unchanged")
@@ -155,11 +157,14 @@ class KMachineCluster:
         eids = np.concatenate(
             [np.arange(graph.m, dtype=np.int64), np.arange(graph.m, dtype=np.int64)]
         )
+        ledger = RoundLedger(self.topology)
+        if self.ledger.fault_model is not None:
+            ledger.attach_faults(self.ledger.fault_model)
         return KMachineCluster(
             graph=graph,
             partition=self.partition,
             topology=self.topology,
-            ledger=RoundLedger(self.topology),
+            ledger=ledger,
             inc_owner=owner,
             inc_other=other,
             inc_machine=self.partition.home[owner],

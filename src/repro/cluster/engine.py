@@ -12,17 +12,41 @@ rounds.  It exists to
 
 Programs implement :class:`MachineProgram`: per round they receive the
 messages fully delivered that round and return new messages to send.
+
+Fault injection: constructing the engine with a
+:class:`~repro.scenarios.faults.FaultPlan` runs the same programs over a
+hostile network — seeded per-link message drops (with automatic FIFO-
+preserving retransmission), duplication, delivery delays, per-round
+machine stalls, and bandwidth throttling.  Payloads are never corrupted
+or permanently lost, and drops preserve per-link ordering, so drop/stall/
+throttle plans cost only rounds.  Duplication repeats messages and delays
+may reorder them; programs exercised under those axes must tolerate
+repeats and reordering (all protocols in this repository do — their
+updates are idempotent maxima/minima).  Exceeding ``max_rounds`` raises
+:class:`RoundLimitExceeded` carrying the accounting so far.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Protocol
+from typing import TYPE_CHECKING, Any, Protocol
+
+import numpy as np
 
 from repro.cluster.topology import ClusterTopology
+from repro.util.rng import derive_seed
 
-__all__ = ["Envelope", "MachineProgram", "SyncEngine", "EngineResult"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.faults import FaultPlan
+
+__all__ = [
+    "Envelope",
+    "EngineResult",
+    "MachineProgram",
+    "RoundLimitExceeded",
+    "SyncEngine",
+]
 
 
 @dataclass
@@ -63,12 +87,41 @@ class MachineProgram(Protocol):
 
 @dataclass
 class EngineResult:
-    """Outcome of an engine run."""
+    """Outcome of an engine run.
+
+    The fault counters are zero on a clean network: ``dropped_messages`` /
+    ``duplicated_messages`` / ``delayed_messages`` count per-envelope fault
+    events, ``stalled_rounds`` counts (machine, round) stall slots.
+    """
 
     rounds: int
     delivered_messages: int
     delivered_bits: int
     terminated: bool
+    dropped_messages: int = 0
+    duplicated_messages: int = 0
+    delayed_messages: int = 0
+    stalled_rounds: int = 0
+
+
+class RoundLimitExceeded(RuntimeError):
+    """``SyncEngine.run`` hit ``max_rounds`` before the network quiesced.
+
+    Carries the accounting so far (``result``, with ``terminated=False``)
+    so callers — and error reports — can see how far the run got and how
+    many fault events it absorbed, instead of a bare failure.
+    """
+
+    def __init__(self, result: EngineResult, max_rounds: int) -> None:
+        self.result = result
+        self.max_rounds = max_rounds
+        super().__init__(
+            f"engine exceeded max_rounds={max_rounds}: "
+            f"{result.delivered_messages} messages "
+            f"({result.delivered_bits} bits) delivered, "
+            f"{result.dropped_messages} dropped, "
+            f"{result.stalled_rounds} machine-rounds stalled"
+        )
 
 
 @dataclass
@@ -82,6 +135,18 @@ class _LinkQueue:
         if not self.queue:
             self.head_remaining = env.bits
         self.queue.append(env)
+
+    def requeue_front(self, envs: list[Envelope]) -> None:
+        """Put ``envs`` back at the head (in order), for retransmission.
+
+        The head restarts from its full size — the partial transmission
+        was lost with the drop.
+        """
+        if not envs:
+            return
+        for env in reversed(envs):
+            self.queue.appendleft(env)
+        self.head_remaining = envs[0].bits
 
     def drain(self, budget: int) -> list[Envelope]:
         """Deliver whole messages within ``budget`` bits; fragment the head."""
@@ -102,13 +167,42 @@ class _LinkQueue:
 
 
 class SyncEngine:
-    """Synchronous round executor over a complete k-machine network."""
+    """Synchronous round executor over a complete k-machine network.
 
-    def __init__(self, topology: ClusterTopology) -> None:
+    Parameters
+    ----------
+    topology:
+        The cluster to execute on.
+    faults:
+        Optional :class:`~repro.scenarios.faults.FaultPlan`; ``None`` (or a
+        benign plan) runs the clean network.  Message payloads are never
+        corrupted: drops retransmit, delays defer, duplicates repeat.
+    fault_seed:
+        Keys the fault randomness; the same (plan, seed, programs) replay
+        an identical fault schedule.  A plan that pins its own ``seed``
+        overrides this — the same pinning contract the bulk-ledger
+        :class:`~repro.scenarios.faults.FaultModel` honors.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        faults: "FaultPlan | None" = None,
+        fault_seed: int = 0,
+    ) -> None:
         self.topology = topology
         k = topology.k
         self._links: dict[tuple[int, int], _LinkQueue] = {}
         self._k = k
+        base_seed = fault_seed
+        if faults is not None:
+            faults.validate()
+            if faults.seed is not None:
+                base_seed = faults.seed
+            if faults.is_benign:
+                faults = None
+        self.faults = faults
+        self._fault_seed = derive_seed(base_seed, 0xE2F1)
 
     def _link(self, src: int, dst: int) -> _LinkQueue:
         q = self._links.get((src, dst))
@@ -125,16 +219,46 @@ class SyncEngine:
         """Execute until every machine is done and all queues drained.
 
         Machine-local sends (src == dst) are delivered next round without
-        consuming bandwidth (local computation is free in the model).
+        consuming bandwidth (local computation is free in the model) and
+        are exempt from link faults; machine stalls still defer them.
+
+        Raises
+        ------
+        RoundLimitExceeded
+            When ``max_rounds`` elapse before the network quiesces; the
+            exception carries the accounting so far.
         """
         k = self._k
         if len(programs) != k:
             raise ValueError(f"need exactly {k} programs, got {len(programs)}")
+        plan = self.faults
         bw = self.topology.bandwidth_bits
+        if plan is not None:
+            bw = max(1, int(bw * plan.bandwidth_factor))
+        rng = np.random.default_rng(self._fault_seed) if plan is not None else None
         delivered_msgs = 0
         delivered_bits = 0
+        dropped = duplicated = delayed = stalled_rounds = 0
         local_pending: list[list[Envelope]] = [[] for _ in range(k)]
+        # Fault state: per-machine remaining stall rounds, per-machine inbox
+        # deferred by a stall, and in-flight delayed envelopes.
+        stall_left = [0] * k
+        deferred: list[list[Envelope]] = [[] for _ in range(k)]
+        delay_buffer: list[tuple[int, int, Envelope]] = []  # (due_round, dst, env)
         rounds = 0
+
+        def _result(terminated: bool) -> EngineResult:
+            return EngineResult(
+                rounds=rounds,
+                delivered_messages=delivered_msgs,
+                delivered_bits=delivered_bits,
+                terminated=terminated,
+                dropped_messages=dropped,
+                duplicated_messages=duplicated,
+                delayed_messages=delayed,
+                stalled_rounds=stalled_rounds,
+            )
+
         for round_no in range(1, max_rounds + 1):
             # Deliver: each directed link transmits up to B bits.
             inboxes: list[list[Envelope]] = [[] for _ in range(k)]
@@ -142,6 +266,14 @@ class SyncEngine:
                 if local_pending[mid]:
                     inboxes[mid].extend(local_pending[mid])
                     local_pending[mid] = []
+            if delay_buffer:
+                still_delayed = []
+                for due, dst, env in delay_buffer:
+                    if due <= round_no:
+                        inboxes[dst].append(env)
+                    else:
+                        still_delayed.append((due, dst, env))
+                delay_buffer = still_delayed
             any_traffic = False
             for (src, dst), q in self._links.items():
                 if q.empty:
@@ -149,14 +281,53 @@ class SyncEngine:
                 got = q.drain(bw)
                 if got or not q.empty:
                     any_traffic = True
-                for env in got:
-                    delivered_msgs += 1
+                for i, env in enumerate(got):
+                    if plan is not None and plan.drop_prob > 0.0 and rng.random() < plan.drop_prob:
+                        # Lost on the wire: the transmitted bits are spent,
+                        # and the link aborts the rest of this round's
+                        # window, retransmitting from the failed message on
+                        # — preserving per-link FIFO order.
+                        dropped += 1
+                        delivered_bits += env.bits
+                        q.requeue_front(got[i:])
+                        break
                     delivered_bits += env.bits
+                    delivered_msgs += 1
+                    if plan is not None and plan.delay_prob > 0.0 and rng.random() < plan.delay_prob:
+                        delayed += 1
+                        due = round_no + 1 + int(rng.integers(0, plan.max_delay_rounds))
+                        delay_buffer.append((due, dst, env))
+                        continue
                     inboxes[dst].append(env)
-            # Compute: every machine takes a step.
+                    if plan is not None and plan.dup_prob > 0.0 and rng.random() < plan.dup_prob:
+                        # Duplicate: a second copy is queued for a later
+                        # round, occupying real link bandwidth (mirroring
+                        # the bulk model's duplicate_rounds); receivers
+                        # must tolerate repeats.
+                        duplicated += 1
+                        q.push(Envelope(env.src, env.dst, env.bits, env.payload))
+            # Compute: every non-stalled machine takes a step.
             any_sends = False
+            any_stalled = False
             for mid in range(k):
-                outs = programs[mid].on_round(mid, round_no, inboxes[mid])
+                if plan is not None:
+                    if stall_left[mid] == 0 and plan.stall_prob > 0.0:
+                        if rng.random() < plan.stall_prob:
+                            stall_left[mid] = int(rng.integers(1, plan.max_stall_rounds + 1))
+                    if stall_left[mid] > 0:
+                        # Stalled: buffer this round's arrivals, skip the step.
+                        # A skipped step also vetoes the quiescence check
+                        # below — the machine never got to act this round.
+                        stall_left[mid] -= 1
+                        stalled_rounds += 1
+                        any_stalled = True
+                        deferred[mid].extend(inboxes[mid])
+                        continue
+                inbox = inboxes[mid]
+                if deferred[mid]:
+                    inbox = deferred[mid] + inbox
+                    deferred[mid] = []
+                outs = programs[mid].on_round(mid, round_no, inbox)
                 for env in outs:
                     if not (0 <= env.dst < k) or env.src != mid:
                         raise ValueError(
@@ -170,10 +341,19 @@ class SyncEngine:
             rounds = round_no
             queues_empty = all(q.empty for q in self._links.values())
             locals_empty = all(not p for p in local_pending)
+            faults_pending = (
+                bool(delay_buffer) or any(deferred) or any(stall_left) or any_stalled
+            )
             all_done = all(programs[mid].is_done(mid) for mid in range(k))
-            if all_done and queues_empty and locals_empty and not any_sends:
-                return EngineResult(rounds, delivered_msgs, delivered_bits, True)
-            if not any_traffic and not any_sends and queues_empty and locals_empty:
+            if all_done and queues_empty and locals_empty and not any_sends and not faults_pending:
+                return _result(True)
+            if (
+                not any_traffic
+                and not any_sends
+                and queues_empty
+                and locals_empty
+                and not faults_pending
+            ):
                 # Quiescent but not all done: programs are stuck waiting.
-                return EngineResult(rounds, delivered_msgs, delivered_bits, all_done)
-        return EngineResult(rounds, delivered_msgs, delivered_bits, False)
+                return _result(all_done)
+        raise RoundLimitExceeded(_result(False), max_rounds)

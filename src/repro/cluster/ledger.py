@@ -27,13 +27,19 @@ __all__ = ["RoundLedger", "StepRecord"]
 
 @dataclass(frozen=True)
 class StepRecord:
-    """Accounting record of one bulk communication step."""
+    """Accounting record of one bulk communication step.
+
+    ``fault_rounds`` counts the rounds injected by an attached fault model
+    (retransmissions, stalls, delays, throttling); they are *included* in
+    ``rounds`` so every consumer of the total sees the degraded cost.
+    """
 
     label: str
     rounds: int
     max_link_bits: int
     total_bits: int
     messages: int
+    fault_rounds: int = 0
 
 
 @dataclass
@@ -56,6 +62,8 @@ class RoundLedger:
     sent_bits: np.ndarray = field(default=None)  # type: ignore[assignment]
     received_bits: np.ndarray = field(default=None)  # type: ignore[assignment]
     load_total: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Attached fault model (see repro.scenarios.faults.FaultModel), or None.
+    fault_model: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         k = self.topology.k
@@ -66,13 +74,35 @@ class RoundLedger:
         if self.load_total is None:
             self.load_total = np.zeros((k, k), dtype=np.int64)
 
+    # -- fault injection -----------------------------------------------------
+
+    def attach_faults(self, model: object) -> None:
+        """Attach a fault model; subsequent bulk steps run on the hostile network.
+
+        ``model`` must provide ``effective_bandwidth(bits) -> int``,
+        ``apply(label, base_rounds, throttle_rounds, k) -> record | None``
+        (where a record has an ``extra_rounds`` int attribute), and
+        ``totals() -> dict`` — see
+        :class:`repro.scenarios.faults.FaultModel` (kept duck-typed so the
+        cluster layer never imports the scenarios package).  One model may
+        be attached to several ledgers; it keys its own step schedule.
+        """
+        self.fault_model = model
+
+    def detach_faults(self) -> None:
+        """Detach the fault model; later steps run on the clean network."""
+        self.fault_model = None
+
     # -- recording ----------------------------------------------------------
 
     def charge_load_matrix(self, label: str, load: np.ndarray, messages: int = 0) -> int:
         """Charge a bulk step described by a dense ``int64[k, k]`` bit-load matrix.
 
         Diagonal entries (machine-local delivery) are free, per the model.
-        Returns the number of rounds charged.
+        With a fault model attached, the step additionally pays for the
+        realized faults (throttling, retransmissions, duplicates, delays,
+        stalls); the injected rounds are recorded on the step.  Returns the
+        number of rounds charged.
         """
         k = self.topology.k
         if load.shape != (k, k):
@@ -81,7 +111,21 @@ class RoundLedger:
         np.fill_diagonal(off, 0)
         max_link = int(off.max(initial=0))
         total = int(off.sum())
-        rounds = ceil_div(max_link, self.topology.bandwidth_bits) if max_link else 0
+        bandwidth = self.topology.bandwidth_bits
+        rounds = ceil_div(max_link, bandwidth) if max_link else 0
+        fault_rounds = 0
+        if self.fault_model is not None:
+            clean_rounds = rounds
+            bandwidth = self.fault_model.effective_bandwidth(bandwidth)  # type: ignore[attr-defined]
+            rounds = ceil_div(max_link, bandwidth) if max_link else 0
+            record = self.fault_model.apply(  # type: ignore[attr-defined]
+                label, rounds, rounds - clean_rounds, k
+            )
+            if record is not None:
+                fault_rounds = int(record.extra_rounds)
+                rounds = clean_rounds + fault_rounds
+            else:
+                rounds = clean_rounds
         self.sent_bits += off.sum(axis=1)
         self.received_bits += off.sum(axis=0)
         self.load_total += off
@@ -92,6 +136,7 @@ class RoundLedger:
                 max_link_bits=max_link,
                 total_bits=total,
                 messages=messages,
+                fault_rounds=fault_rounds,
             )
         )
         return rounds
@@ -148,7 +193,7 @@ class RoundLedger:
         received = self.received_bits
         if received_before is not None:
             received = received - received_before
-        return {
+        totals = {
             "rounds": int(sum(s.rounds for s in steps)),
             "work_rounds": int(sum(max(0, s.rounds - 1) for s in steps)),
             "total_bits": int(sum(s.total_bits for s in steps)),
@@ -156,6 +201,14 @@ class RoundLedger:
             "n_steps": len(steps),
             "breakdown": dict(sorted(self.breakdown(steps).items())),
         }
+        # The fault section appears only on faulted runs, keeping clean-run
+        # envelopes (and every committed BENCH_*.json baseline) unchanged.
+        # It summarizes the *model's* events — one model spans every ledger
+        # of a run (derived sub-clusters inherit it), and the registry
+        # attaches a fresh model per run.
+        if self.fault_model is not None:
+            totals["faults"] = dict(self.fault_model.totals())  # type: ignore[attr-defined]
+        return totals
 
     def breakdown(self, steps: list[StepRecord] | None = None) -> dict[str, int]:
         """Rounds aggregated by step-label prefix (text before first ':').

@@ -247,6 +247,9 @@ def bipartiteness(cluster: KMachineCluster, seed: int = 0, **kw: object) -> Veri
     dcluster = KMachineCluster.create(
         double, cluster.k, cluster.partition.seed, partition=part2, topology=cluster.topology
     )
+    if cluster.ledger.fault_model is not None:
+        # The double cover runs on the same hostile network as the input.
+        dcluster.ledger.attach_faults(cluster.ledger.fault_model)
     res_d = connected_components_distributed(dcluster, seed=derive_seed(seed, 0xB1B), **kw)  # type: ignore[arg-type]
     cluster.ledger.merge_from(dcluster.ledger)
     res_g = _run_connectivity(cluster, g, seed, 0xB1C, **kw)

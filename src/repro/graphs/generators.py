@@ -30,15 +30,19 @@ from repro.graphs.graph import Graph
 from repro.util.rng import derive_seed
 
 __all__ = [
+    "WORST_CASE_FAMILIES",
     "barbell",
     "binary_tree",
     "complete_graph",
     "cycle_graph",
     "diameter2_graph",
+    "disjoint_cliques",
     "disjoint_union",
+    "expander_bridge",
     "gnm_random",
     "gnp_random",
     "grid2d",
+    "lollipop",
     "lower_bound_graph",
     "path_graph",
     "planted_components",
@@ -47,8 +51,10 @@ __all__ = [
     "random_geometric",
     "random_spanning_tree",
     "star_graph",
+    "star_of_paths",
     "with_random_weights",
     "with_unique_weights",
+    "worst_case_graph",
 ]
 
 
@@ -131,6 +137,129 @@ def barbell(clique_size: int, path_len: int) -> Graph:
     )
     b.add_path(chain)
     return b.build()
+
+
+def lollipop(clique_size: int, path_len: int) -> Graph:
+    """K_c with a path of ``path_len`` edges dangling off vertex c-1.
+
+    The classic worst case for random-walk and flooding diameter terms:
+    a dense body whose information must cross a long thin tail.
+    """
+    if clique_size < 2:
+        raise ValueError("clique_size must be >= 2")
+    if path_len < 1:
+        raise ValueError("path_len must be >= 1")
+    n = clique_size + path_len
+    b = GraphBuilder(n)
+    cu, cv = np.triu_indices(clique_size, k=1)
+    b.add_edges(cu.astype(np.int64), cv.astype(np.int64))
+    chain = np.concatenate(
+        [[clique_size - 1], np.arange(clique_size, n, dtype=np.int64)]
+    )
+    b.add_path(chain)
+    return b.build()
+
+
+def star_of_paths(n_arms: int, arm_len: int) -> Graph:
+    """A hub (vertex 0) with ``n_arms`` paths of ``arm_len`` edges each.
+
+    Combines the star adversary (one machine must learn Omega(n) edge
+    statuses for strict MST output) with high diameter: flooding pays
+    Theta(arm_len), and the hub's home machine is a congestion hot spot.
+    """
+    if n_arms < 1 or arm_len < 1:
+        raise ValueError("need n_arms >= 1 and arm_len >= 1")
+    n = 1 + n_arms * arm_len
+    b = GraphBuilder(n)
+    for arm in range(n_arms):
+        start = 1 + arm * arm_len
+        chain = np.concatenate(
+            [[0], np.arange(start, start + arm_len, dtype=np.int64)]
+        )
+        b.add_path(chain)
+    return b.build()
+
+
+def disjoint_cliques(n_cliques: int, clique_size: int) -> Graph:
+    """``n_cliques`` disjoint K_c blocks — maximal component count at high density.
+
+    Every component is as far from tree-like as possible, stressing the
+    multi-part sketching and the per-component proxy trees; the component
+    count is known exactly (ground truth for differential tests).
+    """
+    if n_cliques < 1:
+        raise ValueError("n_cliques must be >= 1")
+    if clique_size < 2:
+        raise ValueError("clique_size must be >= 2")
+    return disjoint_union([complete_graph(clique_size) for _ in range(n_cliques)])
+
+
+def expander_bridge(n: int, degree: int = 6, seed: int = 0) -> Graph:
+    """Two random expanders joined by a single bridge edge.
+
+    Each half is a union of ``degree``/2 random Hamiltonian-ish cycles (a
+    standard expander construction), so both halves have excellent
+    conductance — but the global min cut is the one bridge edge, and any
+    algorithm must notice it.  The worst case for sampling-based min-cut
+    and for component-merging schedules (one merge is forced across a
+    single edge while everything else finishes in a phase or two).
+    """
+    if n < 8:
+        raise ValueError("n must be >= 8")
+    half = n // 2
+    rng = np.random.default_rng(derive_seed(seed, n, degree, 0xEB))
+    layers = max(1, degree // 2)
+
+    def half_graph(size: int) -> Graph:
+        b = GraphBuilder(size)
+        for _ in range(layers):
+            perm = rng.permutation(size).astype(np.int64)
+            b.add_edges(perm, np.roll(perm, -1))
+        return b.build()
+
+    left = half_graph(half)
+    right = half_graph(n - half)
+    b = GraphBuilder(n)
+    b.add_edges(left.edges_u, left.edges_v)
+    b.add_edges(right.edges_u + half, right.edges_v + half)
+    b.add_edges(np.array([0], dtype=np.int64), np.array([half], dtype=np.int64))
+    return b.build()
+
+
+# --------------------------------------------------------------------------
+# Worst-case family registry (the scenario engine's input axis)
+# --------------------------------------------------------------------------
+
+#: Family name -> builder taking (n, seed); each scales its shape
+#: parameters from the single requested size n (sizes are approximate:
+#: the builder may round to the family's natural granularity).
+WORST_CASE_FAMILIES = {
+    "lollipop": lambda n, seed: lollipop(max(2, n // 2), max(1, n - max(2, n // 2))),
+    "barbell": lambda n, seed: barbell(max(2, n // 3), max(1, n - 2 * max(2, n // 3) + 1)),
+    "expander_bridge": lambda n, seed: expander_bridge(max(8, n), seed=seed),
+    "disjoint_cliques": lambda n, seed: disjoint_cliques(
+        max(1, n // max(2, int(np.sqrt(n)))), max(2, int(np.sqrt(n)))
+    ),
+    "star_of_paths": lambda n, seed: star_of_paths(
+        max(1, int(np.sqrt(n))), max(1, (n - 1) // max(1, int(np.sqrt(n))))
+    ),
+}
+
+
+def worst_case_graph(family: str, n: int, seed: int = 0) -> Graph:
+    """Build worst-case ``family`` at (approximate) size ``n``.
+
+    The registry the scenario engine, the CLI and the differential tests
+    share; see :data:`WORST_CASE_FAMILIES` for the available names.
+    """
+    try:
+        builder = WORST_CASE_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown worst-case family {family!r}; "
+            f"available: {', '.join(sorted(WORST_CASE_FAMILIES))}"
+        ) from None
+    return builder(n, seed)
 
 
 # --------------------------------------------------------------------------

@@ -34,6 +34,8 @@ from repro.runtime.config import (
     DEFAULT_SEED,
     ClusterConfig,
     ConfigError,
+    FaultPlan,
+    PartitionConfig,
     RunConfig,
     SketchConfig,
     resolve_seed,
@@ -54,6 +56,8 @@ __all__ = [
     "AlgorithmSpec",
     "ClusterConfig",
     "ConfigError",
+    "FaultPlan",
+    "PartitionConfig",
     "RunConfig",
     "RunReport",
     "RunnerOutput",

@@ -217,12 +217,18 @@ def _run_rep(cluster, config: RunConfig, seed: int) -> RunnerOutput:
         # REP scatters *edges*, not vertices; a pinned vertex-partition seed
         # cannot apply, and silently recording it would corrupt provenance.
         raise ConfigError("rep uses a random edge partition; partition_seed is not applicable")
+    if config.cluster.partition.scheme != "uniform":
+        # REP scatters edges; a vertex-placement scheme cannot apply.
+        raise ConfigError(
+            "rep uses a random edge partition; partition schemes are not applicable"
+        )
     res = fn(
         cluster.graph,
         cluster.k,
         seed,
         bandwidth_multiplier=config.cluster.bandwidth_multiplier,
         bandwidth_bits=config.cluster.bandwidth_bits,
+        faults=config.faults,
         repetitions=config.sketch.repetitions,
         hash_family=config.sketch.hash_family,
         max_phases=config.max_phases,

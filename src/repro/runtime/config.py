@@ -31,9 +31,14 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Mapping
 
+from repro.cluster.partition import PartitionConfig
+from repro.scenarios.faults import FaultPlan
+
 __all__ = [
     "DEFAULT_SEED",
     "ClusterConfig",
+    "FaultPlan",
+    "PartitionConfig",
     "RunConfig",
     "SketchConfig",
     "resolve_seed",
@@ -129,12 +134,17 @@ class ClusterConfig:
         Seed of the shared vertex-partition hash.  ``None`` (default) means
         "use the run's resolved seed", which matches the historical idiom
         ``KMachineCluster.create(g, k, seed)`` + ``algorithm(cluster, seed)``.
+    partition:
+        Placement scheme (:class:`~repro.cluster.partition.PartitionConfig`);
+        the default is the paper's uniform RVP, the skewed schemes are the
+        scenario engine's hostile placements (DESIGN.md §7).
     """
 
     k: int = 8
     bandwidth_multiplier: int = 64
     bandwidth_bits: int | None = None
     partition_seed: int | None = None
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
 
     def validate(self) -> "ClusterConfig":
         """Raise :class:`ConfigError` on invalid fields; return self."""
@@ -150,6 +160,14 @@ class ClusterConfig:
             raise ConfigError(
                 f"bandwidth_bits must be a positive int or None, got {self.bandwidth_bits!r}"
             )
+        if not isinstance(self.partition, PartitionConfig):
+            raise ConfigError(
+                f"partition must be a PartitionConfig, got {type(self.partition).__name__}"
+            )
+        try:
+            self.partition.validate()
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
         return self
 
 
@@ -168,6 +186,11 @@ class RunConfig:
     charge_shared_randomness:
         Charge the per-phase Section-2.2 dissemination (disable only in
         ablations isolating other cost terms).
+    faults:
+        Optional :class:`~repro.scenarios.faults.FaultPlan`; when set,
+        every bulk communication step of the run pays for seeded drops,
+        duplicates, delays, stalls and throttling, and the report's ledger
+        section grows a ``faults`` summary.  ``None`` is the clean network.
     params:
         Algorithm-specific extras, e.g. ``{"output": "strict"}`` for MST or
         ``{"problem": "st_connectivity", "s": 0, "t": 7}`` for verification.
@@ -179,6 +202,7 @@ class RunConfig:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     max_phases: int | None = None
     charge_shared_randomness: bool = True
+    faults: FaultPlan | None = None
     params: dict = field(default_factory=dict)
 
     def validate(self) -> "RunConfig":
@@ -191,6 +215,15 @@ class RunConfig:
             raise ConfigError(f"max_phases must be a positive int or None, got {self.max_phases!r}")
         if not isinstance(self.params, dict):
             raise ConfigError(f"params must be a dict, got {type(self.params).__name__}")
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultPlan):
+                raise ConfigError(
+                    f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+                )
+            try:
+                self.faults.validate()
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from None
         self.sketch.validate()
         self.cluster.validate()
         return self
@@ -206,8 +239,18 @@ class RunConfig:
         """Inverse of :meth:`to_dict`; unknown keys are rejected."""
         d = dict(data)
         sketch = SketchConfig(**d.pop("sketch", {}))
-        cluster = ClusterConfig(**d.pop("cluster", {}))
-        return cls(sketch=sketch, cluster=cluster, **d).validate()
+        cluster_d = dict(d.pop("cluster", {}))
+        partition = cluster_d.pop("partition", None)
+        if partition is not None and not isinstance(partition, PartitionConfig):
+            partition = PartitionConfig(**partition)
+        cluster = ClusterConfig(
+            partition=partition if partition is not None else PartitionConfig(),
+            **cluster_d,
+        )
+        faults = d.pop("faults", None)
+        if faults is not None and not isinstance(faults, FaultPlan):
+            faults = FaultPlan(**faults)
+        return cls(sketch=sketch, cluster=cluster, faults=faults, **d).validate()
 
     def with_overrides(self, **kwargs: Any) -> "RunConfig":
         """A copy with top-level fields replaced (``dataclasses.replace``)."""

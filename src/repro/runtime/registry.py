@@ -125,19 +125,32 @@ class AlgorithmSpec:
         own_ledger = getattr(cluster, "ledger", None)
         steps_before = len(own_ledger.steps) if own_ledger is not None else 0
         received_before = own_ledger.received_bits.copy() if own_ledger is not None else None
-        t0 = time.perf_counter()
-        out = self.runner(cluster, cfg, resolved)
-        wall = time.perf_counter() - t0
-        if out.ledger is not None:
-            ledger = out.ledger
-        elif own_ledger is not None:
-            ledger = ledger_totals(
-                own_ledger, steps_offset=steps_before, received_before=received_before
-            )
-        else:
-            raise RuntimeError(
-                f"graph-only algorithm {self.name!r} must return ledger totals"
-            )
+        fault_attached = False
+        if cfg.faults is not None and own_ledger is not None:
+            # Faulted run: every bulk step this run charges pays for the
+            # realized faults; graph-only adapters (internal clusters)
+            # thread cfg.faults themselves.
+            from repro.scenarios.faults import FaultModel
+
+            own_ledger.attach_faults(FaultModel(cfg.faults, resolved))
+            fault_attached = True
+        try:
+            t0 = time.perf_counter()
+            out = self.runner(cluster, cfg, resolved)
+            wall = time.perf_counter() - t0
+            if out.ledger is not None:
+                ledger = out.ledger
+            elif own_ledger is not None:
+                ledger = ledger_totals(
+                    own_ledger, steps_offset=steps_before, received_before=received_before
+                )
+            else:
+                raise RuntimeError(
+                    f"graph-only algorithm {self.name!r} must return ledger totals"
+                )
+        finally:
+            if fault_attached:
+                own_ledger.detach_faults()
         return RunReport(
             algorithm=self.name,
             seed=resolved,

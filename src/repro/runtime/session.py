@@ -31,6 +31,7 @@ from dataclasses import replace
 from typing import Callable, Iterable
 
 from repro.cluster.cluster import KMachineCluster
+from repro.cluster.partition import build_partition
 from repro.graphs.graph import Graph
 from repro.runtime.config import ClusterConfig, RunConfig, resolve_seed
 from repro.runtime.registry import GraphContext, get_algorithm
@@ -57,6 +58,7 @@ def _build_cluster(graph: Graph, config: RunConfig, seed: int) -> KMachineCluste
         cc.k,
         partition_seed,
         bandwidth_multiplier=cc.bandwidth_multiplier,
+        partition=build_partition(graph, cc.k, partition_seed, cc.partition),
         topology=_topology(graph, cc),
     )
 
@@ -116,6 +118,7 @@ class Session:
             partition_seed,
             cluster_config.bandwidth_multiplier,
             cluster_config.bandwidth_bits,
+            cluster_config.partition,
         )
         hit = self._clusters.get(key)
         if hit is None or hit[0] is not graph:
@@ -124,6 +127,9 @@ class Session:
                 cluster_config.k,
                 partition_seed,
                 bandwidth_multiplier=cluster_config.bandwidth_multiplier,
+                partition=build_partition(
+                    graph, cluster_config.k, partition_seed, cluster_config.partition
+                ),
                 topology=_topology(graph, cluster_config),
             )
             self._clusters[key] = (graph, cluster)
@@ -147,6 +153,15 @@ class Session:
         cfg = (config if config is not None else self.config).validate()
         return g, cfg
 
+    @staticmethod
+    def _resolve_scenario(scenario):
+        """Resolve a scenario name (or instance) through the registry."""
+        if scenario is None:
+            return None
+        from repro.scenarios.registry import get_scenario
+
+        return get_scenario(scenario)
+
     def run(
         self,
         algorithm: str,
@@ -154,13 +169,40 @@ class Session:
         *,
         config: RunConfig | None = None,
         seed: int | None = None,
+        scenario=None,
+        n: int | None = None,
     ) -> RunReport:
         """Run one registered algorithm and return its :class:`RunReport`.
 
         Seed precedence: ``seed`` here > ``config.seed`` > the default —
         the resolved value seeds both the partition (unless
         ``ClusterConfig.partition_seed`` pins it) and the algorithm.
+
+        ``scenario`` (a registered name or :class:`~repro.scenarios.registry.Scenario`)
+        overlays its partition scheme and fault plan onto the config.
+        Graph precedence: an explicit ``graph`` argument wins; otherwise a
+        scenario that names a graph family supplies the input at size
+        ``n`` (default 256) — including over the session's default graph,
+        so family-bearing scenarios are never silent no-ops; a family-less
+        scenario falls back to the session graph (or builds benign
+        G(n, 3n) when there is none).  ``n`` is only meaningful when the
+        scenario builds the graph; passing it otherwise raises.
         """
+        sc = self._resolve_scenario(scenario)
+        if sc is None and n is not None:
+            raise ValueError("n= requires scenario=; pass a sized graph instead")
+        if sc is not None:
+            base = config if config is not None else self.config
+            config = sc.apply(base.validate())
+            if graph is None and (sc.family is not None or self.graph is None):
+                graph = sc.make_graph(
+                    256 if n is None else int(n), resolve_seed(seed, config.seed)
+                )
+            elif n is not None:
+                raise ValueError(
+                    "n= is ignored here: the graph comes from the explicit argument "
+                    "or the session default, not the scenario"
+                )
         g, cfg = self._resolve(graph, config)
         resolved = resolve_seed(seed, cfg.seed)
         spec = get_algorithm(algorithm)
@@ -181,6 +223,7 @@ class Session:
         graph_factory: Callable[[int], Graph] | None = None,
         config: RunConfig | None = None,
         processes: int | None = None,
+        scenario=None,
     ) -> list[RunReport]:
         """Run ``algorithm`` over the grid ``ns x ks x seeds``; return all reports.
 
@@ -195,10 +238,27 @@ class Session:
             ``None`` or ``1`` runs sequentially in-process; ``> 1`` fans the
             grid out over a process pool.  Report order always matches the
             grid order (n-major, then k, then seed).
+        scenario:
+            Registered scenario name (or instance): its partition scheme
+            and fault plan overlay the config, and — when neither
+            ``graph`` nor ``graph_factory`` is given — its graph family
+            becomes the sweep's input (as ``graph_factory`` for ``ns``
+            sweeps, seeded by the config seed), taking precedence over
+            the session's default graph exactly as in :meth:`run`.
 
         Every grid point gets a fresh ledger; with a fixed graph the cluster
         cache is reused across seeds sharing a (k, partition seed).
         """
+        sc = self._resolve_scenario(scenario)
+        if sc is not None:
+            base = config if config is not None else self.config
+            config = sc.apply(base.validate())
+            if graph is None and graph_factory is None:
+                gseed = resolve_seed(None, config.seed)
+                if ns is not None:
+                    graph_factory = lambda size: sc.make_graph(size, gseed)  # noqa: E731
+                elif sc.family is not None or self.graph is None:
+                    graph = sc.make_graph(256, gseed)
         if ns is not None and graph_factory is None:
             raise ValueError("sweeping ns requires graph_factory(n) -> Graph")
         base_cfg = (config if config is not None else self.config).validate()

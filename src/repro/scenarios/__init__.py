@@ -1,0 +1,41 @@
+"""Adversarial scenario engine: faults, partition skew, worst-case inputs.
+
+The subsystem that turns "does the algorithm still answer correctly, and
+how do rounds degrade, under hostile conditions" into a registry-driven,
+reproducible axis of every run (DESIGN.md §7):
+
+* :mod:`repro.scenarios.faults` — typed, seeded fault plans
+  (drop/duplicate/delay/stall/throttle) woven into the round ledger and
+  the per-round mailbox engine.
+* :mod:`repro.scenarios.registry` — named scenarios combining a
+  worst-case graph family, a partition-skew scheme and a fault plan,
+  consumed by ``Session.run(..., scenario=...)``, the sweep API and the
+  CLI (``repro run --scenario``, ``repro scenarios list``).
+
+This ``__init__`` only imports the fault layer eagerly:
+:mod:`repro.runtime.config` embeds :class:`FaultPlan`, so importing the
+registry here (which itself imports the runtime) would create a cycle.
+Registry names resolve lazily via module ``__getattr__``.
+"""
+
+from repro.scenarios.faults import FaultModel, FaultPlan, FaultRecord
+
+__all__ = [
+    "FaultModel",
+    "FaultPlan",
+    "FaultRecord",
+    "Scenario",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+]
+
+_LAZY = ("Scenario", "get_scenario", "list_scenarios", "register_scenario")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.scenarios import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,197 @@
+"""The scenario registry: named hostile conditions for any run.
+
+A :class:`Scenario` bundles the three adversarial axes the ROADMAP's
+"as many scenarios as you can imagine" demands:
+
+* a **graph family** — one of the worst-case families in
+  :data:`repro.graphs.generators.WORST_CASE_FAMILIES` (or a benign
+  ``gnm`` default for fault-only scenarios),
+* a **partition scheme** — a :class:`~repro.cluster.partition.PartitionConfig`
+  placement (uniform / powerlaw / locality / adversarial_heavy),
+* a **fault plan** — a :class:`~repro.scenarios.faults.FaultPlan` for the
+  network (or ``None`` for a clean one).
+
+Scenarios are pure *configuration*: :meth:`Scenario.apply` overlays the
+partition and fault sections onto any :class:`~repro.runtime.config.RunConfig`
+(leaving everything else untouched), and :meth:`Scenario.make_graph`
+builds the input at a requested size.  ``Session.run(...,
+scenario=...)``, ``Session.sweep(..., scenario=...)`` and the CLI
+(``repro run --scenario``, ``repro scenarios list``) all resolve names
+through this registry; tests register ad-hoc scenarios the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.partition import PartitionConfig
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.runtime.config import RunConfig
+from repro.scenarios.faults import FaultPlan
+from repro.util.rng import derive_seed
+
+__all__ = ["Scenario", "get_scenario", "list_scenarios", "register_scenario"]
+
+_REGISTRY: dict[str, "Scenario"] = {}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named hostile condition (see module docstring).
+
+    Attributes
+    ----------
+    name / summary:
+        Registry name and a one-line description for listings.
+    family:
+        Graph-family axis: a :data:`~repro.graphs.generators.WORST_CASE_FAMILIES`
+        key, or ``None`` when the scenario does not constrain the input —
+        a family-less scenario (faults/skew only) runs on whatever graph
+        the caller supplies, falling back to benign G(n, 3n) when asked
+        to build one.
+    partition:
+        Vertex placement scheme applied to the run's cluster section.
+    faults:
+        Network fault plan applied to the run (``None`` = clean network).
+    weighted:
+        Attach unique edge weights to the input (required by MST runs;
+        harmless elsewhere), so one scenario serves every algorithm.
+    """
+
+    name: str
+    summary: str
+    family: str | None = None
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    faults: FaultPlan | None = None
+    weighted: bool = True
+
+    def make_graph(self, n: int, seed: int = 0) -> Graph:
+        """Build this scenario's input graph at (approximate) size ``n``."""
+        gseed = derive_seed(seed, 0x5CE0)
+        if self.family is None:
+            g = generators.gnm_random(n, 3 * n, seed=gseed)
+        else:
+            g = generators.worst_case_graph(self.family, n, seed=gseed)
+        if self.weighted and not g.weighted:
+            g = generators.with_unique_weights(g, seed=gseed)
+        return g
+
+    def apply(self, config: RunConfig) -> RunConfig:
+        """Overlay this scenario's hostile axes onto ``config``.
+
+        Only the axes the scenario actually specifies are overlaid: a
+        scenario without a fault plan (``faults=None``) leaves the
+        caller's ``config.faults`` in place, and a scenario with the
+        default (uniform) partition leaves a caller-configured skew
+        scheme alone — so ``run(..., config=RunConfig(faults=...),
+        scenario="lollipop")`` composes the user's network with the
+        scenario's graph instead of silently cleaning it.
+        """
+        partition = self.partition
+        if partition == PartitionConfig():
+            partition = config.cluster.partition
+        faults = self.faults if self.faults is not None else config.faults
+        cluster = replace(config.cluster, partition=partition)
+        return config.with_overrides(cluster=cluster, faults=faults).validate()
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Register ``scenario`` under its name; duplicate names are rejected."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    scenario.partition.validate()
+    if scenario.faults is not None:
+        scenario.faults.validate()
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def list_scenarios() -> list[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (instances pass through unchanged)."""
+    if isinstance(name, Scenario):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# Built-in scenarios
+# --------------------------------------------------------------------------
+
+#: The ISSUE-3 acceptance envelope: drop <= 10%, stalls <= 2 rounds.
+_STANDARD_FAULTS = FaultPlan(
+    drop_prob=0.1, dup_prob=0.02, stall_prob=0.05, max_stall_rounds=2
+)
+
+for _scenario in (
+    # Fault axes on the benign input.
+    Scenario(
+        "faulty_links",
+        "10% link drops + 2% duplication on G(n, 3n), uniform partition",
+        faults=_STANDARD_FAULTS,
+    ),
+    Scenario(
+        "stragglers",
+        "machine stalls (p=0.2, up to 2 rounds) on G(n, 3n)",
+        faults=FaultPlan(stall_prob=0.2, max_stall_rounds=2),
+    ),
+    Scenario(
+        "throttled",
+        "per-link bandwidth halved plus 1-3 round link delays",
+        faults=FaultPlan(bandwidth_factor=0.5, delay_prob=0.2, max_delay_rounds=3),
+    ),
+    # Partition-skew axes on the benign input.
+    Scenario(
+        "skew_powerlaw",
+        "power-law machine placement (alpha=1.5) on G(n, 3n)",
+        partition=PartitionConfig(scheme="powerlaw", alpha=1.5),
+    ),
+    Scenario(
+        "skew_locality",
+        "contiguous-range placement with 5% noise on G(n, 3n)",
+        partition=PartitionConfig(scheme="locality", noise=0.05),
+    ),
+    Scenario(
+        "adversarial_placement",
+        "top-5%-degree vertices all on machine 0, star-of-paths input",
+        family="star_of_paths",
+        partition=PartitionConfig(scheme="adversarial_heavy", heavy_fraction=0.05),
+    ),
+    # Worst-case graph families on the clean, uniform cluster.
+    Scenario("lollipop", "clique with a long tail (diameter stress)", family="lollipop"),
+    Scenario("barbell", "two cliques joined by a path", family="barbell"),
+    Scenario(
+        "expander_bridge",
+        "two expanders joined by one bridge edge (min-cut stress)",
+        family="expander_bridge",
+    ),
+    Scenario(
+        "disjoint_cliques",
+        "many dense components (multi-part sketching stress)",
+        family="disjoint_cliques",
+    ),
+    Scenario(
+        "star_of_paths",
+        "high-degree hub with long arms (congestion + diameter)",
+        family="star_of_paths",
+    ),
+    # Everything at once.
+    Scenario(
+        "worst_case_storm",
+        "lollipop input, power-law placement, lossy stalling network",
+        family="lollipop",
+        partition=PartitionConfig(scheme="powerlaw", alpha=1.5),
+        faults=_STANDARD_FAULTS,
+    ),
+):
+    register_scenario(_scenario)

@@ -120,7 +120,11 @@ def test_program_count_checked():
         SyncEngine(ClusterTopology(k=3, bandwidth_bits=8)).run([PingPong()])
 
 
-def test_max_rounds_cutoff():
+def test_max_rounds_cutoff_raises_with_partial_accounting():
+    import pytest
+
+    from repro.cluster.engine import RoundLimitExceeded
+
     @dataclass
     class Chatter:
         def on_round(self, machine, round_no, inbox):
@@ -129,8 +133,13 @@ def test_max_rounds_cutoff():
         def is_done(self, machine):
             return False
 
-    result = SyncEngine(ClusterTopology(k=2, bandwidth_bits=8)).run(
-        [Chatter(), Chatter()], max_rounds=5
-    )
-    assert not result.terminated
-    assert result.rounds == 5
+    with pytest.raises(RoundLimitExceeded) as excinfo:
+        SyncEngine(ClusterTopology(k=2, bandwidth_bits=8)).run(
+            [Chatter(), Chatter()], max_rounds=5
+        )
+    exc = excinfo.value
+    assert exc.max_rounds == 5
+    assert not exc.result.terminated
+    assert exc.result.rounds == 5
+    assert exc.result.delivered_messages > 0
+    assert "max_rounds=5" in str(exc)

@@ -1,0 +1,229 @@
+"""Tests for the scenario registry, Session integration, and the CLI verbs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.cluster.partition import PartitionConfig
+from repro.graphs import generators
+from repro.graphs import reference as ref
+from repro.runtime import ClusterConfig, RunConfig, Session
+from repro.scenarios import FaultPlan
+from repro.scenarios.registry import Scenario, get_scenario, list_scenarios, register_scenario
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = list_scenarios()
+        for expected in (
+            "faulty_links",
+            "stragglers",
+            "throttled",
+            "skew_powerlaw",
+            "skew_locality",
+            "adversarial_placement",
+            "lollipop",
+            "barbell",
+            "expander_bridge",
+            "disjoint_cliques",
+            "star_of_paths",
+            "worst_case_storm",
+        ):
+            assert expected in names
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="available:"):
+            get_scenario("does_not_exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(Scenario("faulty_links", "dup"))
+
+    def test_instances_pass_through(self):
+        sc = Scenario("inline", "ad-hoc", family="lollipop")
+        assert get_scenario(sc) is sc
+
+    def test_apply_composes_with_caller_axes(self):
+        # A graph-only scenario must not clobber a caller-configured
+        # hostile network or placement with its own benign defaults.
+        user = RunConfig(
+            seed=1,
+            cluster=ClusterConfig(k=4, partition=PartitionConfig(scheme="powerlaw")),
+            faults=FaultPlan(drop_prob=0.25),
+        )
+        applied = get_scenario("lollipop").apply(user)
+        assert applied.faults == FaultPlan(drop_prob=0.25)
+        assert applied.cluster.partition.scheme == "powerlaw"
+        # But a scenario that DOES specify an axis wins over the caller.
+        storm = get_scenario("worst_case_storm").apply(user)
+        assert storm.faults == get_scenario("worst_case_storm").faults
+        assert storm.cluster.partition.scheme == "powerlaw"  # storm's own
+
+    def test_apply_overlays_partition_and_faults_only(self):
+        sc = get_scenario("worst_case_storm")
+        base = RunConfig(seed=42, cluster=ClusterConfig(k=16, bandwidth_multiplier=32))
+        applied = sc.apply(base)
+        assert applied.cluster.partition == sc.partition
+        assert applied.faults == sc.faults
+        # Everything else preserved.
+        assert applied.seed == 42
+        assert applied.cluster.k == 16
+        assert applied.cluster.bandwidth_multiplier == 32
+
+    def test_make_graph_scales_and_weights(self):
+        sc = get_scenario("lollipop")
+        g = sc.make_graph(60, seed=1)
+        assert abs(g.n - 60) <= 2
+        assert g.weighted  # scenarios default to weighted inputs
+        g2 = sc.make_graph(60, seed=1)
+        assert (g.edges_u == g2.edges_u).all()  # deterministic
+
+
+class TestWorstCaseFamilies:
+    @pytest.mark.parametrize("family", sorted(generators.WORST_CASE_FAMILIES))
+    def test_family_builds_at_requested_scale(self, family):
+        g = generators.worst_case_graph(family, 64, seed=3)
+        assert 0 < g.n <= 80
+        assert g.m > 0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="available:"):
+            generators.worst_case_graph("moebius", 64)
+
+    def test_lollipop_shape(self):
+        g = generators.lollipop(10, 5)
+        assert g.n == 15
+        assert g.m == 45 + 5  # K_10 plus the tail path
+
+    def test_star_of_paths_shape(self):
+        g = generators.star_of_paths(4, 6)
+        assert g.n == 25
+        assert g.m == 24
+        assert int(g.degree(0)) == 4
+        assert ref.is_connected(g)
+
+    def test_disjoint_cliques_component_count(self):
+        g = generators.disjoint_cliques(5, 4)
+        assert g.n == 20
+        assert ref.count_components(g) == 5
+
+    def test_expander_bridge_has_bridge_mincut(self):
+        g = generators.expander_bridge(60, seed=1)
+        assert ref.is_connected(g)
+        weighted = g.with_weights(__import__("numpy").ones(g.m))
+        assert ref.stoer_wagner_mincut(weighted) == 1.0
+
+
+class TestSessionScenario:
+    def test_run_with_scenario_name(self):
+        report = Session(config=RunConfig(seed=2, cluster=ClusterConfig(k=4))).run(
+            "connectivity", scenario="worst_case_storm", n=80
+        )
+        assert report.config["cluster"]["partition"]["scheme"] == "powerlaw"
+        assert report.ledger["faults"]["n_events"] >= 0
+        assert report.result["n_components"] >= 1
+
+    def test_run_scenario_answers_match_reference(self):
+        sc = get_scenario("worst_case_storm")
+        g = sc.make_graph(80, seed=2)
+        report = Session(g, config=sc.apply(RunConfig(seed=2, cluster=ClusterConfig(k=4)))).run(
+            "connectivity"
+        )
+        assert report.result["labels"] == ref.connected_components(g).tolist()
+
+    def test_sweep_with_scenario_over_ns(self):
+        session = Session(config=RunConfig(seed=1, cluster=ClusterConfig(k=4)))
+        reports = session.sweep(
+            "connectivity", ns=(40, 60), scenario="faulty_links"
+        )
+        assert len(reports) == 2
+        assert [r.graph["n"] for r in reports] == sorted(r.graph["n"] for r in reports)
+        for r in reports:
+            assert "faults" in r.ledger
+
+    def test_explicit_graph_wins_over_scenario_family(self):
+        g = generators.path_graph(30)
+        report = Session(config=RunConfig(seed=1, cluster=ClusterConfig(k=4))).run(
+            "connectivity", g, scenario="lollipop"
+        )
+        assert report.graph["n"] == 30  # the path, not a lollipop
+
+    def test_family_scenario_overrides_session_default_graph(self):
+        # A family-bearing scenario must never be a silent no-op: it
+        # replaces the session's default graph (only an explicit graph
+        # argument wins over it).
+        g = generators.path_graph(30)
+        session = Session(g, config=RunConfig(seed=1, cluster=ClusterConfig(k=4)))
+        report = session.run("connectivity", scenario="lollipop", n=60)
+        assert report.graph["n"] != 30
+        assert report.graph["m"] > report.graph["n"]  # lollipop clique, not a path
+
+    def test_family_less_scenario_uses_session_graph(self):
+        g = generators.path_graph(30)
+        session = Session(g, config=RunConfig(seed=1, cluster=ClusterConfig(k=4)))
+        report = session.run("connectivity", scenario="faulty_links")
+        assert report.graph["n"] == 30  # the session graph, faults overlaid
+        assert "faults" in report.ledger
+
+    def test_n_without_scenario_graph_raises(self):
+        g = generators.path_graph(30)
+        session = Session(g, config=RunConfig(seed=1, cluster=ClusterConfig(k=4)))
+        with pytest.raises(ValueError, match="n="):
+            session.run("connectivity", n=50)
+        with pytest.raises(ValueError, match="n="):
+            session.run("connectivity", scenario="faulty_links", n=50)
+
+    def test_engine_honors_plan_pinned_seed(self):
+        from repro.cluster import ClusterTopology, SyncEngine
+        from repro.protocols.leader import LeaderElectionProgram
+
+        topo = ClusterTopology(k=4, bandwidth_bits=128)
+        plan = FaultPlan(drop_prob=0.4, seed=42)
+
+        def run(fault_seed):
+            programs = [LeaderElectionProgram(4, seed=3) for _ in range(4)]
+            r = SyncEngine(topo, faults=plan, fault_seed=fault_seed).run(programs)
+            return (r.rounds, r.dropped_messages, r.delivered_bits)
+
+        # The plan pinned its own seed: fault_seed must not matter.
+        assert run(0) == run(1) == run(99)
+
+
+class TestCli:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "worst_case_storm" in out
+        assert "faults" in out
+
+    def test_run_with_scenario(self, capsys):
+        code = main(
+            ["run", "connectivity", "--n", "80", "--k", "4", "--scenario", "faulty_links"]
+        )
+        assert code == 0
+        assert "connectivity on" in capsys.readouterr().out
+
+    def test_run_with_worst_case_graph_kind(self, capsys):
+        assert main(["run", "connectivity", "--n", "60", "--graph", "star_of_paths"]) == 0
+        assert "n_components=1" in capsys.readouterr().out
+
+    def test_run_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["run", "connectivity", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenario_graph_respects_explicit_graph(self, capsys):
+        code = main(
+            [
+                "run",
+                "connectivity",
+                "--n",
+                "40",
+                "--graph",
+                "path",
+                "--scenario",
+                "faulty_links",
+            ]
+        )
+        assert code == 0
+        assert "m=39" in capsys.readouterr().out
