@@ -1,8 +1,8 @@
-"""EXP S1/S2 — scenario engine: faults and partition skew (DESIGN.md §7).
+"""EXP S1/S2/S3 — scenario engine: faults, skew, churn (DESIGN.md §7-§8).
 
 Thin wrappers over the registered ``scenario_fault_overhead`` /
-``scenario_partition_skew`` grids (see ``repro.bench.suites.scenarios``).
-The qualitative claims asserted here:
+``scenario_partition_skew`` / ``scenario_churn_overhead`` grids (see
+``repro.bench.suites.scenarios``).  The qualitative claims asserted here:
 
 * every cell stays *correct* — hostile conditions degrade rounds, never
   answers (the differential suite checks this exhaustively at small n;
@@ -10,7 +10,13 @@ The qualitative claims asserted here:
 * fault overhead is monotone in fault intensity, and zero-fault cells
   carry zero fault rounds;
 * the uniform RVP is the best-balanced placement — every skewed scheme
-  concentrates at least as many incidences on its hottest machine.
+  concentrates at least as many incidences on its hottest machine;
+* on structured vertex ids (grid/path), ``locality`` placement keeps far
+  more edges machine-local than the uniform RVP — the
+  placement-structure correlation regime (ROADMAP item);
+* churned cells migrate real traffic (positive migration bits/rounds,
+  epoch count matching the plan) while clean cells carry a single epoch
+  and zero migration.
 """
 
 from __future__ import annotations
@@ -50,10 +56,12 @@ def test_partition_skew(benchmark):
     result = run_registered(benchmark, "scenario_partition_skew")
     rows = [
         (
+            c.params["graph"],
             c.params["scheme"],
             c.metrics["rounds"],
             c.metrics["vertices_max"],
             c.metrics["incidences_max"],
+            c.metrics["cross_machine_edges"],
             c.metrics["correct"],
         )
         for c in result.cells
@@ -61,16 +69,68 @@ def test_partition_skew(benchmark):
     n = result.cells[0].params["n"]
     k = result.cells[0].params["k"]
     table = format_table(
-        ["scheme", "rounds", "max vertices/machine", "max incidences/machine", "correct"],
+        [
+            "graph",
+            "scheme",
+            "rounds",
+            "max vertices/machine",
+            "max incidences/machine",
+            "cross-machine edges",
+            "correct",
+        ],
         rows,
         title=f"S2 - connectivity under skewed placement (n={n}, k={k})",
     )
     report("S2_partition_skew", table)
-    assert all(r[4] for r in rows), "a skewed run answered incorrectly"
-    by_scheme = {r[0]: r for r in rows}
-    uniform_inc = by_scheme["uniform"][3]
+    assert all(r[6] for r in rows), "a skewed run answered incorrectly"
+    by_cell = {(r[0], r[1]): r for r in rows}
+    uniform_inc = by_cell[("gnm", "uniform")][4]
     # powerlaw and adversarial_heavy concentrate load by construction;
     # locality is near-perfectly *balanced* on random inputs (its hostility
     # is placement correlation, not imbalance), so it is exempt here.
     for scheme in ("powerlaw", "adversarial_heavy"):
-        assert by_scheme[scheme][3] > uniform_inc, f"{scheme} did not concentrate load"
+        assert by_cell[("gnm", scheme)][4] > uniform_inc, f"{scheme} did not concentrate load"
+    # The structured-input leg: on grid/path vertex ids, locality placement
+    # keeps most edges machine-local while the uniform RVP cuts ~(1 - 1/k)
+    # of them — the correlation the scheme exists to model.
+    for graph in ("grid", "path"):
+        uniform_cross = by_cell[(graph, "uniform")][5]
+        locality_cross = by_cell[(graph, "locality")][5]
+        assert locality_cross < uniform_cross / 4, (
+            f"locality on {graph} ids did not correlate with structure "
+            f"({locality_cross} vs uniform {uniform_cross})"
+        )
+
+
+def test_churn_overhead(benchmark):
+    result = run_registered(benchmark, "scenario_churn_overhead")
+    rows = [
+        (
+            c.params["plan"],
+            c.metrics["rounds"],
+            c.metrics["n_epochs"],
+            c.metrics["migrated_vertices"],
+            c.metrics["migration_bits"],
+            c.metrics["migration_rounds"],
+            c.metrics["correct"],
+        )
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
+    k = result.cells[0].params["k"]
+    table = format_table(
+        ["plan", "rounds", "epochs", "migrated", "migration bits", "migration rounds", "correct"],
+        rows,
+        title=f"S3 - connectivity under partition epochs / machine churn (n={n}, k={k})",
+    )
+    report("S3_churn_overhead", table)
+    assert all(r[6] for r in rows), "a churned run answered incorrectly"
+    by_plan = {r[0]: r for r in rows}
+    assert by_plan["clean"][2] == 1 and by_plan["clean"][5] == 0, (
+        "clean cell must stay single-epoch with zero migration"
+    )
+    for plan, n_epochs in (("rebalance", 3), ("churn", 5)):
+        assert by_plan[plan][2] == n_epochs, f"{plan} fired the wrong number of epochs"
+        assert by_plan[plan][4] > 0 and by_plan[plan][5] > 0, (
+            f"{plan} migrated no real traffic"
+        )

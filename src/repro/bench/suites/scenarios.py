@@ -1,7 +1,7 @@
 """Scenario benchmarks: cost of hostile conditions, perf-gated like any other.
 
-Two quick-tier grids pin down what the adversarial engine (DESIGN.md §7)
-costs and that it never costs correctness:
+Three quick-tier grids pin down what the adversarial engine (DESIGN.md
+§7-§8) costs and that it never costs correctness:
 
 * ``scenario_fault_overhead`` — connectivity on G(n, 3n) under a seeded
   :class:`~repro.scenarios.faults.FaultPlan` of increasing intensity; the
@@ -9,10 +9,17 @@ costs and that it never costs correctness:
   flag against the union-find reference, so a drift in either the fault
   realization or the answer fails CI.
 * ``scenario_partition_skew`` — connectivity under each placement scheme
-  in :data:`~repro.cluster.partition.PARTITION_SCHEMES`; gates the round
-  degradation and the placement balance (``vertices_max`` /
-  ``incidences_max``), the quantities the paper's RVP lemmas bound for
-  the uniform case.
+  in :data:`~repro.cluster.partition.PARTITION_SCHEMES`, on the random
+  input *and* on structured vertex ids (grid / path), where the
+  ``locality`` scheme's placement-structure correlation actually bites
+  (on random ids it is near-balanced and near-uniform); gates the round
+  degradation, the placement balance (``vertices_max`` /
+  ``incidences_max``) and the placement-structure correlation
+  (``cross_machine_edges``).
+* ``scenario_churn_overhead`` — connectivity under the dynamic adversary
+  (DESIGN.md §8): mid-run re-partitions and machine churn; gates the
+  migration traffic (``migration_bits`` / ``migration_rounds``), the
+  epoch count and correctness, so a drift in epoch realization fails CI.
 """
 
 from __future__ import annotations
@@ -24,14 +31,31 @@ from repro.bench.runner import metrics_from_report
 from repro.cluster.partition import PARTITION_SCHEMES, PartitionConfig, build_partition
 from repro.graphs import generators
 from repro.graphs import reference as ref
-from repro.runtime.config import ClusterConfig, FaultPlan, RunConfig
+from repro.runtime.config import ChurnPlan, ClusterConfig, FaultPlan, RunConfig
 from repro.runtime.session import Session
+from repro.scenarios.churn import ChurnEvent
 from repro.util.rng import derive_seed
 
 __all__: list[str] = []
 
 
-def _input_graph(n: int, seed: int):
+def _input_graph(n: int, seed: int, kind: str = "gnm"):
+    """The benchmark input: random G(n, 3n), or structured vertex ids.
+
+    ``grid`` and ``path`` have row-major / sequential ids — the ingestion
+    orders whose correlation with graph structure the ``locality`` scheme
+    models (ROADMAP: its hostility only shows on structured ids).  Grid
+    cells must request a perfect-square ``n`` so the recorded params name
+    the graph actually built (same rounding idiom as the CLI ``--graph
+    grid`` path in :mod:`repro.cli`).
+    """
+    if kind == "grid":
+        side = max(2, int(round(n**0.5)))
+        if side * side != n:
+            raise ValueError(f"grid cells need a perfect-square n, got {n}")
+        return generators.grid2d(side, side)
+    if kind == "path":
+        return generators.path_graph(n)
     return generators.gnm_random(n, 3 * n, seed=derive_seed(seed, n, 0x5CE))
 
 
@@ -69,17 +93,30 @@ def _fault_overhead(cell: dict, seed: int) -> dict:
     )
 
 
+#: The structured-input leg: uniform vs locality on grid/path vertex ids
+#: (the placements whose correlation `locality` models; see ROADMAP).
+_STRUCTURED_LEG = [
+    {"graph": graph, "scheme": scheme}
+    for graph in ("grid", "path")
+    for scheme in ("uniform", "locality")
+]
+
+
 @register_benchmark(
     "scenario_partition_skew",
     title="Scenario engine: round degradation under skewed vertex placement",
     group="scenario",
-    cells=[{"n": 2048, "k": 8, "scheme": s} for s in PARTITION_SCHEMES],
-    quick_cells=[{"n": 256, "k": 4, "scheme": s} for s in PARTITION_SCHEMES],
+    # Grid cells record the exact vertex count (45^2; 16^2 at quick tier),
+    # so a cell is reproducible from its recorded params alone.
+    cells=[{"n": 2048, "k": 8, "scheme": s, "graph": "gnm"} for s in PARTITION_SCHEMES]
+    + [{"n": 2025 if leg["graph"] == "grid" else 2048, "k": 8, **leg} for leg in _STRUCTURED_LEG],
+    quick_cells=[{"n": 256, "k": 4, "scheme": s, "graph": "gnm"} for s in PARTITION_SCHEMES]
+    + [{"n": 256, "k": 4, **leg} for leg in _STRUCTURED_LEG],
     seed=7,
 )
 def _partition_skew(cell: dict, seed: int) -> dict:
     n, k, scheme = int(cell["n"]), int(cell["k"]), str(cell["scheme"])
-    g = _input_graph(n, seed)
+    g = _input_graph(n, seed, kind=str(cell["graph"]))
     pconfig = PartitionConfig(scheme=scheme)
     config = RunConfig(
         seed=seed, cluster=ClusterConfig(k=k, partition=pconfig)
@@ -92,9 +129,56 @@ def _partition_skew(cell: dict, seed: int) -> dict:
     inc = np.bincount(partition.home[g.edges_u], minlength=k) + np.bincount(
         partition.home[g.edges_v], minlength=k
     )
+    # Placement-structure correlation: how many edges cross machines.  The
+    # uniform RVP cuts ~(1 - 1/k) of the edges regardless of structure;
+    # `locality` on structured ids keeps most edges machine-local — the
+    # correlated-ingestion regime where hash-partition analyses break down.
+    cross = int((partition.home[g.edges_u] != partition.home[g.edges_v]).sum())
     return metrics_from_report(
         report,
         vertices_max=int(counts.max()),
         incidences_max=int(inc.max()),
+        cross_machine_edges=cross,
+        correct=report.result["n_components"] == ref.count_components(g),
+    )
+
+
+#: Churn schedules of increasing hostility, shared by both tiers.
+_CHURN_PLANS = {
+    "clean": None,
+    "rebalance": ChurnPlan(
+        events=(ChurnEvent(5, "reshuffle"), ChurnEvent(15, "reshuffle"))
+    ),
+    "churn": ChurnPlan(
+        events=(
+            ChurnEvent(4, "remove", machine=1),
+            ChurnEvent(9, "reshuffle"),
+            ChurnEvent(14, "add", machine=1),
+            ChurnEvent(18, "remove", machine=2),
+        )
+    ),
+}
+
+
+@register_benchmark(
+    "scenario_churn_overhead",
+    title="Scenario engine: migration cost of partition epochs and machine churn",
+    group="scenario",
+    cells=[{"n": 2048, "k": 8, "plan": p} for p in _CHURN_PLANS],
+    quick_cells=[{"n": 256, "k": 4, "plan": p} for p in _CHURN_PLANS],
+    seed=7,
+)
+def _churn_overhead(cell: dict, seed: int) -> dict:
+    n, k, plan = int(cell["n"]), int(cell["k"]), str(cell["plan"])
+    g = _input_graph(n, seed)
+    config = RunConfig(seed=seed, cluster=ClusterConfig(k=k), churn=_CHURN_PLANS[plan])
+    report = Session(g, config=config).run("connectivity")
+    epochs = report.ledger.get("epochs", {})
+    return metrics_from_report(
+        report,
+        n_epochs=int(epochs.get("n_epochs", 1)),
+        migrated_vertices=int(epochs.get("migrated_vertices", 0)),
+        migration_bits=int(epochs.get("migration_bits", 0)),
+        migration_rounds=int(epochs.get("migration_rounds", 0)),
         correct=report.result["n_components"] == ref.count_components(g),
     )

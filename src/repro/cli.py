@@ -313,6 +313,8 @@ def _cmd_scenarios_list(_args: argparse.Namespace) -> int:
             axes.append(f"partition={sc.partition.scheme}")
         if sc.faults is not None:
             axes.append("faults")
+        if sc.churn is not None:
+            axes.append("churn")
         tag = ",".join(axes) or "benign"
         print(f"{name:<{width}}  {tag:<32}  {sc.summary}")
     return 0

@@ -146,8 +146,9 @@ class KMachineCluster:
         Used by verification problems that operate on subgraphs of G: the
         vertex partition (and hence machine layout) is unchanged, and so is
         the link bandwidth.  The new cluster gets a fresh ledger — which
-        inherits this cluster's fault model, so derived instances run on
-        the same hostile network as their parent (DESIGN.md §7).
+        inherits this cluster's fault and epoch models, so derived
+        instances run on the same hostile, churning platform as their
+        parent (DESIGN.md §7-§8).
         """
         if graph.n != self.n:
             raise ValueError("vertex set must be unchanged")
@@ -160,6 +161,8 @@ class KMachineCluster:
         ledger = RoundLedger(self.topology)
         if self.ledger.fault_model is not None:
             ledger.attach_faults(self.ledger.fault_model)
+        if self.ledger.epoch_model is not None:
+            ledger.attach_epochs(self.ledger.epoch_model)
         return KMachineCluster(
             graph=graph,
             partition=self.partition,

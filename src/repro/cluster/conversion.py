@@ -115,6 +115,18 @@ def replay_trace(
     for r, (s, d, b) in enumerate(trace.rounds):
         step = CommStep(cluster.ledger, f"{label}:cc-round-{r}")
         step.add(home[s], home[d], b)
+        # Scenario-engine semantics (DESIGN.md §7, resolved ROADMAP item):
+        # a replayed trace is a *message schedule*, and the messages are
+        # real traffic on the simulated platform — so the bulk step pays
+        # any attached fault model (retransmissions, stalls, throttling)
+        # and epoch model (re-routing, migration) exactly like the paper
+        # algorithms' steps.  Anything else would hand the converted
+        # baselines a clean network while the sketch algorithms run on the
+        # hostile one, inverting every crossover comparison.  Only the
+        # one-round sync floor below stays clean: it is the Conversion
+        # Theorem's cited constant, not simulated traffic (the same
+        # carve-out `charge_rounds` grants every externally priced
+        # fragment).
         rounds = step.deliver()
         # A CC round costs at least one k-machine round even if all
         # messages were machine-local.

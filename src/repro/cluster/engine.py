@@ -24,6 +24,15 @@ may reorder them; programs exercised under those axes must tolerate
 repeats and reordering (all protocols in this repository do — their
 updates are idempotent maxima/minima).  Exceeding ``max_rounds`` raises
 :class:`RoundLimitExceeded` carrying the accounting so far.
+
+Machine churn: constructing the engine with a
+:class:`~repro.scenarios.churn.ChurnPlan` additionally runs the programs
+on a churning platform — scheduled machine departures park the departed
+machine's arrivals (mailbox re-homing: they are re-delivered, in order,
+when the machine rejoins, under the same deferral semantics fault stalls
+use) and reshuffle events insert a one-round migration barrier for every
+machine.  The churn schedule is deterministic (event-driven, no
+randomness); see DESIGN.md §8.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from repro.cluster.topology import ClusterTopology
 from repro.util.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.churn import ChurnPlan
     from repro.scenarios.faults import FaultPlan
 
 __all__ = [
@@ -91,7 +101,12 @@ class EngineResult:
 
     The fault counters are zero on a clean network: ``dropped_messages`` /
     ``duplicated_messages`` / ``delayed_messages`` count per-envelope fault
-    events, ``stalled_rounds`` counts (machine, round) stall slots.
+    events, ``stalled_rounds`` counts (machine, round) stall slots.  The
+    churn counters are zero on a static platform: ``churn_events`` counts
+    fired :class:`~repro.scenarios.churn.ChurnEvent` boundaries,
+    ``rehomed_messages`` counts arrivals parked for a departed machine's
+    mailbox (re-delivered when it rejoins), ``churn_stall_rounds`` counts
+    (machine, round) slots lost to reshuffle migration barriers.
     """
 
     rounds: int
@@ -102,6 +117,9 @@ class EngineResult:
     duplicated_messages: int = 0
     delayed_messages: int = 0
     stalled_rounds: int = 0
+    churn_events: int = 0
+    rehomed_messages: int = 0
+    churn_stall_rounds: int = 0
 
 
 class RoundLimitExceeded(RuntimeError):
@@ -182,6 +200,17 @@ class SyncEngine:
         an identical fault schedule.  A plan that pins its own ``seed``
         overrides this — the same pinning contract the bulk-ledger
         :class:`~repro.scenarios.faults.FaultModel` honors.
+    churn:
+        Optional :class:`~repro.scenarios.churn.ChurnPlan`; ``at_step``
+        counts the engine's synchronous rounds here (an event fires at
+        the start of round ``at_step + 1``).  A removed machine stops
+        stepping and its arrivals are parked (mailbox re-homing: they are
+        re-delivered, in order, when the machine rejoins — the existing
+        fault-deferral semantics); a removed machine holding undelivered
+        state that never rejoins keeps the network from quiescing, which
+        surfaces as :class:`RoundLimitExceeded`.  A ``reshuffle`` pauses
+        every machine for one migration-barrier round.  The schedule is
+        event-driven and fully deterministic — no randomness is drawn.
     """
 
     def __init__(
@@ -189,6 +218,7 @@ class SyncEngine:
         topology: ClusterTopology,
         faults: "FaultPlan | None" = None,
         fault_seed: int = 0,
+        churn: "ChurnPlan | None" = None,
     ) -> None:
         self.topology = topology
         k = topology.k
@@ -203,6 +233,45 @@ class SyncEngine:
                 faults = None
         self.faults = faults
         self._fault_seed = derive_seed(base_seed, 0xE2F1)
+        if churn is not None:
+            churn.validate()
+            if churn.is_benign:
+                churn = None
+            else:
+                self._check_churn(churn, k)
+        self.churn = churn
+
+    @staticmethod
+    def _check_churn(churn: "ChurnPlan", k: int) -> None:
+        """Validate the event sequence against this engine's k machines.
+
+        The same rules the bulk-accounting :class:`EpochModel` enforces
+        (DESIGN.md §8.1), including the ≥ 2 active machines floor — a
+        plan the ledger path rejects must not quietly deadlock here.
+        """
+        removed = [False] * k
+        active = k
+        for event in sorted(churn.events, key=lambda e: e.at_step):
+            if event.kind == "reshuffle":
+                continue
+            m = int(event.machine)  # type: ignore[arg-type]
+            if m >= k:
+                raise ValueError(f"churn event names machine {m} but the engine has k={k}")
+            if event.kind == "remove":
+                if removed[m]:
+                    raise ValueError(f"machine {m} removed twice (round {event.at_step})")
+                if active <= 2:
+                    raise ValueError(
+                        "removals must leave at least 2 active machines "
+                        f"(round {event.at_step})"
+                    )
+                removed[m] = True
+                active -= 1
+            else:
+                if not removed[m]:
+                    raise ValueError(f"machine {m} added while active (round {event.at_step})")
+                removed[m] = False
+                active += 1
 
     def _link(self, src: int, dst: int) -> _LinkQueue:
         q = self._links.get((src, dst))
@@ -245,6 +314,17 @@ class SyncEngine:
         stall_left = [0] * k
         deferred: list[list[Envelope]] = [[] for _ in range(k)]
         delay_buffer: list[tuple[int, int, Envelope]] = []  # (due_round, dst, env)
+        # Churn state: fired-event cursor, departed machines, and pending
+        # reshuffle migration-barrier rounds.
+        churn_events = (
+            tuple(sorted(self.churn.events, key=lambda e: e.at_step))
+            if self.churn is not None
+            else ()
+        )
+        next_event = 0
+        removed = [False] * k
+        pause_left = 0
+        churn_fired = rehomed = churn_stall_rounds = 0
         rounds = 0
 
         def _result(terminated: bool) -> EngineResult:
@@ -257,9 +337,24 @@ class SyncEngine:
                 duplicated_messages=duplicated,
                 delayed_messages=delayed,
                 stalled_rounds=stalled_rounds,
+                churn_events=churn_fired,
+                rehomed_messages=rehomed,
+                churn_stall_rounds=churn_stall_rounds,
             )
 
         for round_no in range(1, max_rounds + 1):
+            # Fire churn events due before this round (at_step counts
+            # completed rounds, so at_step=0 fires before round 1).
+            while next_event < len(churn_events) and churn_events[next_event].at_step < round_no:
+                event = churn_events[next_event]
+                next_event += 1
+                churn_fired += 1
+                if event.kind == "remove":
+                    removed[event.machine] = True  # type: ignore[index]
+                elif event.kind == "add":
+                    removed[event.machine] = False  # type: ignore[index]
+                else:  # reshuffle: one migration-barrier round for everyone
+                    pause_left += 1
             # Deliver: each directed link transmits up to B bits.
             inboxes: list[list[Envelope]] = [[] for _ in range(k)]
             for mid in range(k):
@@ -309,7 +404,32 @@ class SyncEngine:
             # Compute: every non-stalled machine takes a step.
             any_sends = False
             any_stalled = False
+            migration_barrier = pause_left > 0
+            if migration_barrier:
+                pause_left -= 1
             for mid in range(k):
+                if migration_barrier:
+                    # Reshuffle barrier: the whole platform spends the round
+                    # migrating shards; arrivals are deferred like a stall.
+                    # A machine that is *removed* during the barrier is not
+                    # stalling — it is gone: its arrivals count as re-homed,
+                    # not as a barrier slot.
+                    if removed[mid]:
+                        rehomed += len(inboxes[mid])
+                    else:
+                        churn_stall_rounds += 1
+                    any_stalled = True
+                    deferred[mid].extend(inboxes[mid])
+                    continue
+                if removed[mid]:
+                    # Departed machine: its mailbox parks arrivals until the
+                    # machine rejoins (re-homing under the fault-deferral
+                    # semantics); it draws no faults and takes no steps.
+                    # Departure supersedes any fault stall in progress.
+                    stall_left[mid] = 0
+                    rehomed += len(inboxes[mid])
+                    deferred[mid].extend(inboxes[mid])
+                    continue
                 if plan is not None:
                     if stall_left[mid] == 0 and plan.stall_prob > 0.0:
                         if rng.random() < plan.stall_prob:

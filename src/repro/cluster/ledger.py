@@ -32,6 +32,9 @@ class StepRecord:
     ``fault_rounds`` counts the rounds injected by an attached fault model
     (retransmissions, stalls, delays, throttling); they are *included* in
     ``rounds`` so every consumer of the total sees the degraded cost.
+    ``epoch`` is the partition epoch the step ran in (0 unless an attached
+    epoch model fired a churn event earlier in the run; migration steps
+    carry the epoch they opened).
     """
 
     label: str
@@ -40,6 +43,7 @@ class StepRecord:
     total_bits: int
     messages: int
     fault_rounds: int = 0
+    epoch: int = 0
 
 
 @dataclass
@@ -64,6 +68,8 @@ class RoundLedger:
     load_total: np.ndarray = field(default=None)  # type: ignore[assignment]
     #: Attached fault model (see repro.scenarios.faults.FaultModel), or None.
     fault_model: object = field(default=None, repr=False)
+    #: Attached epoch model (see repro.scenarios.churn.EpochModel), or None.
+    epoch_model: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         k = self.topology.k
@@ -93,20 +99,56 @@ class RoundLedger:
         """Detach the fault model; later steps run on the clean network."""
         self.fault_model = None
 
+    # -- partition epochs ----------------------------------------------------
+
+    def attach_epochs(self, model: object) -> None:
+        """Attach an epoch model; subsequent bulk steps live on a churning platform.
+
+        ``model`` must provide ``begin_step(charge)`` (fires due churn
+        events, charging their migrations through ``charge``),
+        ``remap(load) -> load``, ``note_step(off, rounds)``, an ``epoch``
+        int attribute and ``totals() -> dict`` — see
+        :class:`repro.scenarios.churn.EpochModel` (duck-typed, like the
+        fault model, so the cluster layer never imports the scenarios
+        package).  One model may span several ledgers of a run; it keys
+        its schedule by its own monotone bulk-step counter.
+        """
+        self.epoch_model = model
+
+    def detach_epochs(self) -> None:
+        """Detach the epoch model; later steps run on the static partition."""
+        self.epoch_model = None
+
     # -- recording ----------------------------------------------------------
 
     def charge_load_matrix(self, label: str, load: np.ndarray, messages: int = 0) -> int:
         """Charge a bulk step described by a dense ``int64[k, k]`` bit-load matrix.
 
         Diagonal entries (machine-local delivery) are free, per the model.
-        With a fault model attached, the step additionally pays for the
-        realized faults (throttling, retransmissions, duplicates, delays,
-        stalls); the injected rounds are recorded on the step.  Returns the
-        number of rounds charged.
+        With an epoch model attached, due churn events fire first (each
+        charging its migration as a real bulk step) and the load matrix is
+        re-routed onto the current epoch's machine layout; with a fault
+        model attached, the step additionally pays for the realized faults
+        (throttling, retransmissions, duplicates, delays, stalls) — the
+        injected rounds are recorded on the step.  Returns the number of
+        rounds charged.
         """
         k = self.topology.k
         if load.shape != (k, k):
             raise ValueError(f"load matrix must be ({k}, {k}), got {load.shape}")
+        if self.epoch_model is not None:
+            self.epoch_model.begin_step(self._charge)  # type: ignore[attr-defined]
+            load = self.epoch_model.remap(load)  # type: ignore[attr-defined]
+        return self._charge(label, load, messages)
+
+    def _charge(self, label: str, load: np.ndarray, messages: int = 0) -> int:
+        """Record one bulk step (fault realization included, epochs resolved).
+
+        The raw charging primitive ``charge_load_matrix`` and the epoch
+        model's migration steps share; never consults the epoch model, so
+        migrations cannot recurse into further churn events.
+        """
+        k = self.topology.k
         off = load.copy()
         np.fill_diagonal(off, 0)
         max_link = int(off.max(initial=0))
@@ -129,6 +171,10 @@ class RoundLedger:
         self.sent_bits += off.sum(axis=1)
         self.received_bits += off.sum(axis=0)
         self.load_total += off
+        epoch = 0
+        if self.epoch_model is not None:
+            epoch = int(self.epoch_model.epoch)  # type: ignore[attr-defined]
+            self.epoch_model.note_step(off, rounds)  # type: ignore[attr-defined]
         self.steps.append(
             StepRecord(
                 label=label,
@@ -137,6 +183,7 @@ class RoundLedger:
                 total_bits=total,
                 messages=messages,
                 fault_rounds=fault_rounds,
+                epoch=epoch,
             )
         )
         return rounds
@@ -146,10 +193,17 @@ class RoundLedger:
 
         Used by the congested-clique conversion adapter and by O(1)-round
         protocol fragments (e.g. leader election) whose constant cost we
-        take from the cited results rather than re-simulating.
+        take from the cited results rather than re-simulating.  Cited
+        costs pass through un-faulted and un-remapped, but they are still
+        *attributed* to the current partition epoch, so per-epoch rounds
+        partition the run's total.
         """
         if rounds < 0:
             raise ValueError("rounds must be non-negative")
+        epoch = 0
+        if self.epoch_model is not None:
+            epoch = int(self.epoch_model.epoch)  # type: ignore[attr-defined]
+            self.epoch_model.note_rounds(rounds, total_bits)  # type: ignore[attr-defined]
         self.steps.append(
             StepRecord(
                 label=label,
@@ -157,6 +211,7 @@ class RoundLedger:
                 max_link_bits=0,
                 total_bits=total_bits,
                 messages=0,
+                epoch=epoch,
             )
         )
         return rounds
@@ -208,6 +263,9 @@ class RoundLedger:
         # attaches a fresh model per run.
         if self.fault_model is not None:
             totals["faults"] = dict(self.fault_model.totals())  # type: ignore[attr-defined]
+        # Same contract for the epochs section: only churned runs carry it.
+        if self.epoch_model is not None:
+            totals["epochs"] = dict(self.epoch_model.totals())  # type: ignore[attr-defined]
         return totals
 
     def breakdown(self, steps: list[StepRecord] | None = None) -> dict[str, int]:

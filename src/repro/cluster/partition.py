@@ -243,15 +243,33 @@ def adversarial_heavy_partition(
     return VertexPartition(k=k, home=home, seed=seed)
 
 
-def build_partition(graph, k: int, seed: int, config: PartitionConfig | None = None) -> VertexPartition:
+def build_partition(
+    graph,
+    k: int,
+    seed: int,
+    config: PartitionConfig | None = None,
+    *,
+    epoch: int = 0,
+) -> VertexPartition:
     """Build the vertex partition selected by ``config`` for ``graph``.
 
     The one entry point the runtime layer uses: ``uniform`` (default)
     routes to :func:`random_vertex_partition`; the skewed schemes consume
     their :class:`PartitionConfig` knobs, and ``adversarial_heavy``
     additionally reads the graph's degree sequence.
+
+    ``epoch`` selects the *partition epoch* of the dynamic adversary
+    (DESIGN.md §8): epoch 0 (the default) is byte-identical to the
+    historical behaviour, while epoch e > 0 derives an independent
+    shared-hash seed from ``(seed, e)`` — so a mid-run re-shuffle stays a
+    deterministic function every machine can evaluate locally, exactly
+    like the epoch-0 hash.
     """
     cfg = (config if config is not None else PartitionConfig()).validate()
+    if not isinstance(epoch, int) or epoch < 0:
+        raise ValueError(f"epoch must be a non-negative int, got {epoch!r}")
+    if epoch > 0:
+        seed = derive_seed(seed, 0xE70C, epoch)
     n = int(graph.n)
     if cfg.scheme == "uniform":
         return random_vertex_partition(n, k, seed)

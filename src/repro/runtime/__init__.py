@@ -32,6 +32,7 @@ remain supported; they are the implementation the registry adapters call.
 
 from repro.runtime.config import (
     DEFAULT_SEED,
+    ChurnPlan,
     ClusterConfig,
     ConfigError,
     FaultPlan,
@@ -54,6 +55,7 @@ from repro.runtime.session import Session
 __all__ = [
     "DEFAULT_SEED",
     "AlgorithmSpec",
+    "ChurnPlan",
     "ClusterConfig",
     "ConfigError",
     "FaultPlan",

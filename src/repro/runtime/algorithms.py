@@ -222,6 +222,11 @@ def _run_rep(cluster, config: RunConfig, seed: int) -> RunnerOutput:
         raise ConfigError(
             "rep uses a random edge partition; partition schemes are not applicable"
         )
+    if config.churn is not None and not config.churn.is_benign:
+        # Partition epochs re-home *vertices*; the REP model has no vertex
+        # partition to re-shuffle, and silently dropping the plan would
+        # corrupt provenance exactly like a silently ignored skew scheme.
+        raise ConfigError("rep uses a random edge partition; churn plans are not applicable")
     res = fn(
         cluster.graph,
         cluster.k,

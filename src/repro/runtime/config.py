@@ -32,10 +32,12 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.cluster.partition import PartitionConfig
+from repro.scenarios.churn import ChurnPlan
 from repro.scenarios.faults import FaultPlan
 
 __all__ = [
     "DEFAULT_SEED",
+    "ChurnPlan",
     "ClusterConfig",
     "FaultPlan",
     "PartitionConfig",
@@ -191,6 +193,12 @@ class RunConfig:
         every bulk communication step of the run pays for seeded drops,
         duplicates, delays, stalls and throttling, and the report's ledger
         section grows a ``faults`` summary.  ``None`` is the clean network.
+    churn:
+        Optional :class:`~repro.scenarios.churn.ChurnPlan`; when set, the
+        run lives through scheduled partition epochs (mid-run re-shuffles,
+        machine removals and rejoins) with migration traffic charged as
+        real bandwidth, and the report's ledger section grows an
+        ``epochs`` summary.  ``None`` is the static partition.
     params:
         Algorithm-specific extras, e.g. ``{"output": "strict"}`` for MST or
         ``{"problem": "st_connectivity", "s": 0, "t": 7}`` for verification.
@@ -203,6 +211,7 @@ class RunConfig:
     max_phases: int | None = None
     charge_shared_randomness: bool = True
     faults: FaultPlan | None = None
+    churn: ChurnPlan | None = None
     params: dict = field(default_factory=dict)
 
     def validate(self) -> "RunConfig":
@@ -222,6 +231,15 @@ class RunConfig:
                 )
             try:
                 self.faults.validate()
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from None
+        if self.churn is not None:
+            if not isinstance(self.churn, ChurnPlan):
+                raise ConfigError(
+                    f"churn must be a ChurnPlan or None, got {type(self.churn).__name__}"
+                )
+            try:
+                self.churn.validate()
             except ValueError as exc:
                 raise ConfigError(str(exc)) from None
         self.sketch.validate()
@@ -250,7 +268,10 @@ class RunConfig:
         faults = d.pop("faults", None)
         if faults is not None and not isinstance(faults, FaultPlan):
             faults = FaultPlan(**faults)
-        return cls(sketch=sketch, cluster=cluster, faults=faults, **d).validate()
+        churn = d.pop("churn", None)
+        if churn is not None and not isinstance(churn, ChurnPlan):
+            churn = ChurnPlan.from_dict(churn)
+        return cls(sketch=sketch, cluster=cluster, faults=faults, churn=churn, **d).validate()
 
     def with_overrides(self, **kwargs: Any) -> "RunConfig":
         """A copy with top-level fields replaced (``dataclasses.replace``)."""

@@ -134,6 +134,25 @@ class AlgorithmSpec:
 
             own_ledger.attach_faults(FaultModel(cfg.faults, resolved))
             fault_attached = True
+        epoch_attached = False
+        if cfg.churn is not None and own_ledger is not None:
+            # Churned run: partition epochs fire per the plan, migrations
+            # charged as real bulk steps (and through the fault model when
+            # both are set).  The epoch hashing derives from the cluster's
+            # actual partition seed, so the schedule is replayable from the
+            # report envelope alone.
+            from repro.scenarios.churn import ChurnConfigError, EpochModel
+
+            try:
+                model = EpochModel(
+                    cfg.churn, cluster.graph, cluster.partition, cfg.cluster.partition
+                )
+            except ChurnConfigError as exc:
+                if fault_attached:
+                    own_ledger.detach_faults()
+                raise ConfigError(str(exc)) from None
+            own_ledger.attach_epochs(model)
+            epoch_attached = True
         try:
             t0 = time.perf_counter()
             out = self.runner(cluster, cfg, resolved)
@@ -151,6 +170,8 @@ class AlgorithmSpec:
         finally:
             if fault_attached:
                 own_ledger.detach_faults()
+            if epoch_attached:
+                own_ledger.detach_epochs()
         return RunReport(
             algorithm=self.name,
             seed=resolved,

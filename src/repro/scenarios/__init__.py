@@ -7,20 +7,28 @@ reproducible axis of every run (DESIGN.md §7):
 * :mod:`repro.scenarios.faults` — typed, seeded fault plans
   (drop/duplicate/delay/stall/throttle) woven into the round ledger and
   the per-round mailbox engine.
+* :mod:`repro.scenarios.churn` — the dynamic adversary: typed schedules
+  of partition epochs (mid-run re-shuffles, machine removals/rejoins)
+  with migration traffic charged as real bandwidth (DESIGN.md §8).
 * :mod:`repro.scenarios.registry` — named scenarios combining a
-  worst-case graph family, a partition-skew scheme and a fault plan,
-  consumed by ``Session.run(..., scenario=...)``, the sweep API and the
-  CLI (``repro run --scenario``, ``repro scenarios list``).
+  worst-case graph family, a partition-skew scheme, a fault plan and a
+  churn plan, consumed by ``Session.run(..., scenario=...)``, the sweep
+  API and the CLI (``repro run --scenario``, ``repro scenarios list``).
 
-This ``__init__`` only imports the fault layer eagerly:
-:mod:`repro.runtime.config` embeds :class:`FaultPlan`, so importing the
-registry here (which itself imports the runtime) would create a cycle.
-Registry names resolve lazily via module ``__getattr__``.
+This ``__init__`` imports only the plan layers (faults, churn) eagerly:
+:mod:`repro.runtime.config` embeds :class:`FaultPlan` and
+:class:`ChurnPlan`, so importing the registry here (which itself imports
+the runtime) would create a cycle.  Registry names resolve lazily via
+module ``__getattr__``.
 """
 
+from repro.scenarios.churn import ChurnEvent, ChurnPlan, EpochModel
 from repro.scenarios.faults import FaultModel, FaultPlan, FaultRecord
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnPlan",
+    "EpochModel",
     "FaultModel",
     "FaultPlan",
     "FaultRecord",

@@ -28,6 +28,7 @@ from repro.cluster.partition import PartitionConfig
 from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.runtime.config import RunConfig
+from repro.scenarios.churn import ChurnEvent, ChurnPlan
 from repro.scenarios.faults import FaultPlan
 from repro.util.rng import derive_seed
 
@@ -54,6 +55,9 @@ class Scenario:
         Vertex placement scheme applied to the run's cluster section.
     faults:
         Network fault plan applied to the run (``None`` = clean network).
+    churn:
+        Partition-epoch / machine-churn schedule applied to the run
+        (``None`` = static partition; DESIGN.md §8).
     weighted:
         Attach unique edge weights to the input (required by MST runs;
         harmless elsewhere), so one scenario serves every algorithm.
@@ -64,6 +68,7 @@ class Scenario:
     family: str | None = None
     partition: PartitionConfig = field(default_factory=PartitionConfig)
     faults: FaultPlan | None = None
+    churn: ChurnPlan | None = None
     weighted: bool = True
 
     def make_graph(self, n: int, seed: int = 0) -> Graph:
@@ -92,8 +97,9 @@ class Scenario:
         if partition == PartitionConfig():
             partition = config.cluster.partition
         faults = self.faults if self.faults is not None else config.faults
+        churn = self.churn if self.churn is not None else config.churn
         cluster = replace(config.cluster, partition=partition)
-        return config.with_overrides(cluster=cluster, faults=faults).validate()
+        return config.with_overrides(cluster=cluster, faults=faults, churn=churn).validate()
 
 
 def register_scenario(scenario: Scenario) -> Scenario:
@@ -103,6 +109,8 @@ def register_scenario(scenario: Scenario) -> Scenario:
     scenario.partition.validate()
     if scenario.faults is not None:
         scenario.faults.validate()
+    if scenario.churn is not None:
+        scenario.churn.validate()
     _REGISTRY[scenario.name] = scenario
     return scenario
 
@@ -184,6 +192,29 @@ for _scenario in (
         "star_of_paths",
         "high-degree hub with long arms (congestion + diameter)",
         family="star_of_paths",
+    ),
+    # Dynamic adversary: partition epochs and machine churn (DESIGN.md §8).
+    Scenario(
+        "rebalance_midrun",
+        "two mid-run re-partitions (same scheme, epoch-indexed hash) with "
+        "migration charged as real bandwidth",
+        churn=ChurnPlan(
+            events=(ChurnEvent(6, "reshuffle"), ChurnEvent(14, "reshuffle"))
+        ),
+    ),
+    Scenario(
+        "churn_storm",
+        "machines leave and rejoin mid-run (graceful decommission + rebalancing "
+        "rejoin) on the standard lossy network",
+        churn=ChurnPlan(
+            events=(
+                ChurnEvent(4, "remove", machine=1),
+                ChurnEvent(9, "reshuffle"),
+                ChurnEvent(14, "add", machine=1),
+                ChurnEvent(18, "remove", machine=2),
+            )
+        ),
+        faults=_STANDARD_FAULTS,
     ),
     # Everything at once.
     Scenario(

@@ -58,3 +58,76 @@ class TestTrace:
         t = CongestedCliqueTrace()
         t.record_round(g.edges_u, g.edges_v, 16)
         assert replay_trace(cl, t) == 1  # sync round even with zero cross traffic
+
+
+class TestReplayUnderScenarios:
+    """Replayed CC traces run on the simulated platform, hostile or not.
+
+    The resolved ROADMAP decision (DESIGN.md §7): a trace's messages are
+    real traffic, so replay pays any attached fault model (and epoch
+    model) exactly like the paper algorithms' bulk steps — only the
+    one-round sync floor (a cited constant, `charge_rounds`) stays clean.
+    """
+
+    def _cluster_and_trace(self, k=4, seed=2):
+        g = gen.gnm_random(80, 240, seed=seed)
+        cl = KMachineCluster.create(g, k=k, seed=seed)
+        t = CongestedCliqueTrace()
+        for r in range(3):
+            t.record_round(g.edges_u, g.edges_v, 16)
+        return g, cl, t
+
+    def test_replay_pays_fault_overhead(self):
+        from repro.scenarios.faults import FaultModel, FaultPlan
+
+        _, clean_cl, trace = self._cluster_and_trace()
+        clean = replay_trace(clean_cl, trace)
+
+        _, cl, trace2 = self._cluster_and_trace()
+        cl.ledger.attach_faults(FaultModel(FaultPlan(drop_prob=0.3), run_seed=2))
+        faulted = replay_trace(cl, trace2)
+        assert faulted > clean, "replayed trace did not pay fault overhead"
+        assert sum(s.fault_rounds for s in cl.ledger.steps) == faulted - clean
+        assert "faults" in cl.ledger.totals()
+
+    def test_replay_fault_overhead_is_deterministic(self):
+        from repro.scenarios.faults import FaultModel, FaultPlan
+
+        results = []
+        for _ in range(2):
+            _, cl, trace = self._cluster_and_trace()
+            cl.ledger.attach_faults(FaultModel(FaultPlan(drop_prob=0.3), run_seed=2))
+            replay_trace(cl, trace)
+            results.append(cl.ledger.totals())
+        assert results[0] == results[1]
+
+    def test_sync_floor_stays_clean(self):
+        # All-local trace: the only cost is the charge_rounds sync floor,
+        # which passes through unfaulted (a citation, not traffic).
+        from repro.cluster.partition import VertexPartition
+        from repro.scenarios.faults import FaultModel, FaultPlan
+
+        g = gen.path_graph(10)
+        home = np.zeros(10, dtype=np.int64)
+        cl = KMachineCluster.create(
+            g, k=2, seed=1, partition=VertexPartition(k=2, home=home, seed=0)
+        )
+        cl.ledger.attach_faults(
+            FaultModel(FaultPlan(drop_prob=0.5, bandwidth_factor=0.5), run_seed=7)
+        )
+        t = CongestedCliqueTrace()
+        t.record_round(g.edges_u, g.edges_v, 16)
+        assert replay_trace(cl, t) == 1
+
+    def test_replay_pays_epoch_migration(self):
+        from repro.cluster.partition import PartitionConfig
+        from repro.scenarios.churn import ChurnEvent, ChurnPlan, EpochModel
+
+        g, cl, trace = self._cluster_and_trace()
+        plan = ChurnPlan(events=(ChurnEvent(1, "reshuffle"),))
+        cl.ledger.attach_epochs(EpochModel(plan, g, cl.partition, PartitionConfig()))
+        replay_trace(cl, trace)
+        totals = cl.ledger.totals()
+        assert totals["epochs"]["n_epochs"] == 2
+        assert totals["epochs"]["migration_rounds"] > 0
+        assert any(s.label == "epoch:migrate:reshuffle" for s in cl.ledger.steps)

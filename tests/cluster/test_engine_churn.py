@@ -1,0 +1,135 @@
+"""SyncEngine under machine churn: mailbox re-homing and migration barriers.
+
+The message-granular face of DESIGN.md §8: removed machines stop
+stepping, their arrivals are parked (and re-delivered in order when they
+rejoin), reshuffles pause everyone for one barrier round, and a departed
+machine holding undelivered state that never rejoins keeps the network
+from quiescing (RoundLimitExceeded).  The schedule is deterministic —
+no randomness is drawn for churn.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.engine import Envelope, RoundLimitExceeded, SyncEngine
+from repro.cluster.topology import ClusterTopology
+from repro.scenarios.churn import ChurnEvent, ChurnPlan
+from repro.scenarios.faults import FaultPlan
+
+K = 4
+TOPOLOGY = ClusterTopology(k=K, bandwidth_bits=256)
+
+
+class Broadcast:
+    """Machine 0 sends one message to everyone in round 1; others echo back."""
+
+    def __init__(self):
+        self.received: list[list[tuple[int, object]]] = [[] for _ in range(K)]
+
+    def on_round(self, machine, round_no, inbox):
+        for env in inbox:
+            self.received[machine].append((round_no, env.payload))
+        if machine == 0 and round_no == 1:
+            return [Envelope(0, dst, 32, f"hello-{dst}") for dst in range(1, K)]
+        if machine != 0 and inbox:
+            return [Envelope(machine, 0, 16, f"ack-{machine}") for _ in inbox]
+        return []
+
+    def is_done(self, machine):
+        return True
+
+
+def _run(churn=None, faults=None, max_rounds=100):
+    programs = [Broadcast() for _ in range(K)]
+    shared = programs[0]
+    for p in programs:
+        p.received = shared.received
+    engine = SyncEngine(TOPOLOGY, faults=faults, churn=churn)
+    result = engine.run(programs, max_rounds=max_rounds)
+    return result, shared.received
+
+
+def test_clean_run_has_zero_churn_counters():
+    result, _ = _run()
+    assert result.terminated
+    assert result.churn_events == 0
+    assert result.rehomed_messages == 0
+    assert result.churn_stall_rounds == 0
+
+
+def test_removed_machine_mailbox_rehomes_on_rejoin():
+    churn = ChurnPlan(
+        events=(ChurnEvent(1, "remove", machine=2), ChurnEvent(4, "add", machine=2))
+    )
+    clean_result, clean_received = _run()
+    result, received = _run(churn=churn)
+    assert result.terminated
+    assert result.churn_events == 2
+    assert result.rehomed_messages >= 1
+    # Machine 2 still gets its message — later than on the static platform,
+    # and nothing is lost or corrupted.
+    assert [p for _, p in received[2]] == [p for _, p in clean_received[2]]
+    assert result.rounds > clean_result.rounds
+    assert result.delivered_messages == clean_result.delivered_messages
+
+
+def test_reshuffle_barrier_costs_one_round_for_everyone():
+    churn = ChurnPlan(events=(ChurnEvent(1, "reshuffle"),))
+    clean_result, _ = _run()
+    result, _ = _run(churn=churn)
+    assert result.terminated
+    assert result.churn_stall_rounds == K
+    assert result.rounds == clean_result.rounds + 1
+
+
+def test_departed_machine_never_rejoining_blocks_quiescence():
+    churn = ChurnPlan(events=(ChurnEvent(1, "remove", machine=2),))
+    with pytest.raises(RoundLimitExceeded) as excinfo:
+        _run(churn=churn, max_rounds=30)
+    assert excinfo.value.result.rehomed_messages >= 1
+
+
+def test_churn_is_deterministic_and_composes_with_faults():
+    churn = ChurnPlan(
+        events=(
+            ChurnEvent(1, "remove", machine=3),
+            ChurnEvent(3, "reshuffle"),
+            ChurnEvent(5, "add", machine=3),
+        )
+    )
+    faults = FaultPlan(drop_prob=0.2, seed=11)
+    a, _ = _run(churn=churn, faults=faults)
+    b, _ = _run(churn=churn, faults=faults)
+    assert a == b
+    assert a.terminated
+    assert a.churn_events == 3
+
+
+def test_engine_rejects_out_of_range_machines():
+    with pytest.raises(ValueError, match="k="):
+        SyncEngine(TOPOLOGY, churn=ChurnPlan(events=(ChurnEvent(0, "remove", machine=K),)))
+    with pytest.raises(ValueError, match="while active"):
+        SyncEngine(TOPOLOGY, churn=ChurnPlan(events=(ChurnEvent(0, "add", machine=1),)))
+
+
+def test_engine_enforces_two_active_machines():
+    # Same floor the bulk EpochModel enforces: a plan that would deadlock
+    # the platform fails fast at construction, not at RoundLimitExceeded.
+    two = ClusterTopology(k=2, bandwidth_bits=256)
+    with pytest.raises(ValueError, match="at least 2 active"):
+        SyncEngine(two, churn=ChurnPlan(events=(ChurnEvent(0, "remove", machine=0),)))
+    plan = ChurnPlan(
+        events=(
+            ChurnEvent(0, "remove", machine=0),
+            ChurnEvent(1, "remove", machine=1),
+            ChurnEvent(2, "remove", machine=2),
+        )
+    )
+    with pytest.raises(ValueError, match="at least 2 active"):
+        SyncEngine(TOPOLOGY, churn=plan)
+
+
+def test_benign_plan_is_a_no_op():
+    engine = SyncEngine(TOPOLOGY, churn=ChurnPlan())
+    assert engine.churn is None

@@ -1,0 +1,62 @@
+"""Docs stay truthful: intra-repo links resolve, README tracks the registries.
+
+The CI docs leg runs ``tools/check_docs.py`` and the quickstart example;
+these tests keep the same guarantees inside tier-1 so a broken link or a
+README that forgot a newly registered algorithm/scenario fails locally
+too, not just in the docs job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_readme_exists_at_repo_root():
+    assert (REPO_ROOT / "README.md").is_file()
+
+
+def test_intra_repo_links_resolve():
+    errors = []
+    for name in ("README.md", "DESIGN.md"):
+        errors.extend(check_docs.check_file(REPO_ROOT / name))
+    assert not errors, "\n".join(errors)
+
+
+def test_checker_flags_broken_links(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "[gone](missing.md) and [no anchor](#nowhere)\n\n# Real Heading\n",
+        encoding="utf-8",
+    )
+    errors = check_docs.check_file(bad)
+    assert len(errors) == 2
+    assert check_docs.main([str(bad)]) == 1
+    good = tmp_path / "good.md"
+    good.write_text("# Title\n[self](#title)\n", encoding="utf-8")
+    assert check_docs.main([str(good)]) == 0
+
+
+def test_readme_names_every_registered_algorithm():
+    from repro.runtime import list_algorithms
+
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    missing = [name for name in list_algorithms() if f"`{name}`" not in text]
+    assert not missing, f"README algorithm table is missing: {missing}"
+
+
+def test_readme_mentions_churn_scenarios():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for name in ("rebalance_midrun", "churn_storm", "worst_case_storm"):
+        assert name in text, f"README scenario overview is missing {name}"
+
+
+def test_design_has_epoch_section():
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    assert "## 8. Dynamic adversary" in text
+    assert "epoch:migrate" in text
