@@ -38,18 +38,39 @@ def metrics_from_report(report: RunReport, **extra) -> dict:
     return metrics
 
 
+def _profile_cell(runner, params: dict, seed: int, top: int) -> tuple[dict, str]:
+    """Run one cell under cProfile; return (metrics, top-N report text)."""
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    metrics = prof.runcall(runner, params, seed)
+    stream = io.StringIO()
+    pstats.Stats(prof, stream=stream).sort_stats("cumulative").print_stats(top)
+    # Keep only the table (drop pstats' preamble noise above the header).
+    lines = stream.getvalue().splitlines()
+    start = next((i for i, line in enumerate(lines) if "ncalls" in line), 0)
+    return dict(metrics), "\n".join(line for line in lines[start:] if line.strip())
+
+
 def run_benchmark(
     name_or_spec: str | BenchSpec,
     *,
     tier: str = "full",
     seed: int | None = None,
     progress: Callable[[str], None] | None = None,
+    profile_top: int | None = None,
 ) -> BenchResult:
     """Run one registered benchmark over its ``tier`` grid.
 
     ``seed`` overrides the spec's default base seed.  ``progress`` (if
     given) receives one line per completed cell — the CLI uses it; library
-    callers usually leave it off.
+    callers usually leave it off.  ``profile_top`` (if given) wraps every
+    cell in cProfile and sends the top-N cumulative-time functions to
+    ``progress`` (or stdout) — the ``repro bench run --profile`` path;
+    recorded wall times then include profiler overhead, so profiled
+    envelopes are for reading, not for committing as baselines.
     """
     from repro.bench.environment import capture_environment
 
@@ -57,10 +78,14 @@ def run_benchmark(
     base_seed = spec.seed if seed is None else int(seed)
     cells = spec.cells_for(tier)
     results: list[CellResult] = []
+    emit = progress if progress is not None else print
     t_bench = time.perf_counter()
     for i, params in enumerate(cells):
         t0 = time.perf_counter()
-        metrics = dict(spec.runner(dict(params), base_seed))
+        if profile_top is not None:
+            metrics, report = _profile_cell(spec.runner, dict(params), base_seed, profile_top)
+        else:
+            metrics, report = dict(spec.runner(dict(params), base_seed)), None
         wall = time.perf_counter() - t0
         # A runner may report the hot-path duration under the reserved
         # "_wall_time_s" key (e.g. excluding graph construction); it is
@@ -72,6 +97,9 @@ def run_benchmark(
             wall_time_s=wall if override is None else float(override),
         )
         results.append(cell)
+        if profile_top is not None:
+            emit(f"-- profile {spec.name}[{cell.key}] (top {profile_top} by cumulative) --")
+            emit(report)
         if progress is not None:
             progress(f"  [{i + 1}/{len(cells)}] {cell.key} done in {wall:.2f}s")
     return BenchResult(
@@ -125,6 +153,7 @@ def run_all(
     out_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
     force: bool = False,
+    profile_top: int | None = None,
 ) -> list[BenchResult]:
     """Run several benchmarks (default: all), optionally writing artifacts.
 
@@ -141,7 +170,9 @@ def run_all(
     for name in selected:
         if progress is not None:
             progress(f"== {name} [{tier}] ==")
-        result = run_benchmark(name, tier=tier, seed=seed, progress=progress)
+        result = run_benchmark(
+            name, tier=tier, seed=seed, progress=progress, profile_top=profile_top
+        )
         if out_dir is not None:
             path = result.write(out_dir)
             if progress is not None:

@@ -25,6 +25,13 @@ repeats and reordering (all protocols in this repository do — their
 updates are idempotent maxima/minima).  Exceeding ``max_rounds`` raises
 :class:`RoundLimitExceeded` carrying the accounting so far.
 
+Internally the mailbox layer is array-backed (see :class:`_LinkQueue`):
+per-link delivery windows resolve with one bisection over a
+cumulative-bits array, fault axes draw one vectorized sample batch per
+window, and drop retransmission is an O(1) cursor rewind — the documented
+FIFO/retransmit/re-homing semantics are unchanged, only the per-envelope
+Python loops are gone (DESIGN.md §9).
+
 Machine churn: constructing the engine with a
 :class:`~repro.scenarios.churn.ChurnPlan` additionally runs the programs
 on a churning platform — scheduled machine departures park the departed
@@ -37,8 +44,8 @@ randomness); see DESIGN.md §8.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from bisect import bisect_left
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Protocol
 
 import numpy as np
@@ -59,7 +66,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """A message in flight.
 
@@ -142,46 +149,92 @@ class RoundLimitExceeded(RuntimeError):
         )
 
 
-@dataclass
 class _LinkQueue:
-    """FIFO of envelopes on one directed link, with fragmentation state."""
+    """Array-backed FIFO of envelopes on one directed link.
 
-    queue: deque = field(default_factory=deque)
-    head_remaining: int = 0  # bits of the head envelope still to transmit
+    Struct-of-arrays layout: the envelope objects live in one list
+    (``envs``) while their sizes live in a parallel *cumulative-bits*
+    list (``cum``, where ``cum[i]`` is the total size of ``envs[:i+1]``).
+    One round's delivery window is then a single :func:`bisect.bisect_left`
+    instead of a per-envelope loop, partial transmission of the head is
+    the scalar ``consumed`` cursor, and a drop's retransmission (rewinding
+    the window to the failed message, head restarting from its full size)
+    is an O(1) cursor reset rather than a deque splice.  Plain Python ints
+    keep the cumulative values overflow-free and make the tiny-window case
+    (a handful of messages per round) as cheap as the bulk one — the
+    accumulate/bisect machinery is all C.
+    """
+
+    __slots__ = ("envs", "cum", "head", "consumed", "offset")
+
+    def __init__(self) -> None:
+        self.envs: list[Envelope] = []
+        self.cum: list[int] = []  # cum[i] = offset + total bits of envs[:i+1]
+        self.head = 0  # index of the first undelivered envelope
+        self.consumed = 0  # cumulative bits transmitted so far (cursor into cum)
+        self.offset = 0  # total bits of envelopes removed by compaction
 
     def push(self, env: Envelope) -> None:
-        if not self.queue:
-            self.head_remaining = env.bits
-        self.queue.append(env)
+        self.envs.append(env)
+        self.cum.append((self.cum[-1] if self.cum else self.offset) + env.bits)
 
-    def requeue_front(self, envs: list[Envelope]) -> None:
-        """Put ``envs`` back at the head (in order), for retransmission.
+    def _compact(self) -> None:
+        """Drop the delivered prefix once it dominates (amortized O(1)).
 
-        The head restarts from its full size — the partial transmission
-        was lost with the drop.
+        ``cum`` keeps its absolute values (Python ints don't overflow, so
+        no rebase pass is ever needed); ``offset`` records the absolute
+        cumulative total in front of ``envs[0]``.
         """
-        if not envs:
-            return
-        for env in reversed(envs):
-            self.queue.appendleft(env)
-        self.head_remaining = envs[0].bits
+        if self.head and 2 * self.head >= len(self.envs):
+            self.offset = self.cum[self.head - 1]
+            del self.envs[: self.head]
+            del self.cum[: self.head]
+            self.head = 0
 
-    def drain(self, budget: int) -> list[Envelope]:
-        """Deliver whole messages within ``budget`` bits; fragment the head."""
-        out: list[Envelope] = []
-        while self.queue and budget > 0:
-            if self.head_remaining <= budget:
-                budget -= self.head_remaining
-                out.append(self.queue.popleft())
-                self.head_remaining = self.queue[0].bits if self.queue else 0
-            else:
-                self.head_remaining -= budget
-                budget = 0
-        return out
+    def drain(self, budget: int) -> tuple[list[Envelope], int]:
+        """Fully-delivered envelopes within ``budget`` bits, plus the window
+        start index (for :meth:`requeue_from`); the head fragments across
+        rounds via the ``consumed`` cursor."""
+        self._compact()
+        start = self.head
+        if start >= len(self.envs):
+            return [], start
+        target = self.consumed + budget
+        # Deliver messages strictly inside the window, plus the one that
+        # lands exactly on it (its last bits spend the final budget).  A
+        # zero-bit envelope sitting exactly at the boundary stays queued —
+        # the budget is already exhausted when the link reaches it, which
+        # is what the original per-envelope loop (``while budget > 0``) did.
+        end = bisect_left(self.cum, target, lo=start)
+        if end < len(self.cum) and self.cum[end] == target:
+            end += 1
+        got = self.envs[start:end]
+        # Partial transmission of the new head keeps the leftover budget;
+        # a fully drained queue discards it (budget is per-round).
+        self.consumed = min(target, self.cum[-1])
+        self.head = end
+        return got, start
+
+    def requeue_from(self, index: int) -> None:
+        """Rewind so ``envs[index]`` is the head, restarted at full size.
+
+        Retransmission after a drop: the dropped message and everything
+        behind it go back on the wire in order (per-link FIFO preserved),
+        and the partial window transmitted this round is lost.
+        """
+        self.head = index
+        self.consumed = self.cum[index - 1] if index else self.offset
+
+    def delivered_bits(self, start: int, count: int) -> int:
+        """Total size of ``envs[start : start + count]`` (O(1) from cum)."""
+        if count <= 0:
+            return 0
+        base = self.cum[start - 1] if start else self.offset
+        return self.cum[start + count - 1] - base
 
     @property
     def empty(self) -> bool:
-        return not self.queue
+        return self.head >= len(self.envs)
 
 
 class SyncEngine:
@@ -370,37 +423,73 @@ class SyncEngine:
                         still_delayed.append((due, dst, env))
                 delay_buffer = still_delayed
             any_traffic = False
-            for (src, dst), q in self._links.items():
+            for (_src, dst), q in self._links.items():
                 if q.empty:
                     continue
-                got = q.drain(bw)
+                got, start = q.drain(bw)
                 if got or not q.empty:
                     any_traffic = True
-                for i, env in enumerate(got):
-                    if plan is not None and plan.drop_prob > 0.0 and rng.random() < plan.drop_prob:
-                        # Lost on the wire: the transmitted bits are spent,
-                        # and the link aborts the rest of this round's
-                        # window, retransmitting from the failed message on
-                        # — preserving per-link FIFO order.
+                if not got:
+                    continue
+                if plan is None:
+                    # Clean fast path: one bulk accounting update per link
+                    # window, no per-envelope arithmetic.
+                    delivered_bits += q.delivered_bits(start, len(got))
+                    delivered_msgs += len(got)
+                    inboxes[dst].extend(got)
+                    continue
+                # Fault sampling is batched per delivery window: one draw
+                # array per fault axis instead of one RNG call per message.
+                # Still a pure function of (plan, seed) — replays of the
+                # same run are identical — but the RNG stream is consumed
+                # in a different order than the pre-batching engine, so
+                # seeded fault *realizations* differ across versions; the
+                # documented drop/retransmit/FIFO semantics are unchanged.
+                if plan.drop_prob > 0.0:
+                    hits = np.nonzero(rng.random(len(got)) < plan.drop_prob)[0]
+                    if hits.size:
+                        # Lost on the wire: the transmitted bits are spent
+                        # through the dropped message, and the link aborts
+                        # the rest of this round's window, retransmitting
+                        # from the failed message on — preserving per-link
+                        # FIFO order.
+                        first = int(hits[0])
                         dropped += 1
-                        delivered_bits += env.bits
-                        q.requeue_front(got[i:])
-                        break
-                    delivered_bits += env.bits
-                    delivered_msgs += 1
-                    if plan is not None and plan.delay_prob > 0.0 and rng.random() < plan.delay_prob:
-                        delayed += 1
-                        due = round_no + 1 + int(rng.integers(0, plan.max_delay_rounds))
-                        delay_buffer.append((due, dst, env))
-                        continue
-                    inboxes[dst].append(env)
-                    if plan is not None and plan.dup_prob > 0.0 and rng.random() < plan.dup_prob:
-                        # Duplicate: a second copy is queued for a later
-                        # round, occupying real link bandwidth (mirroring
-                        # the bulk model's duplicate_rounds); receivers
-                        # must tolerate repeats.
-                        duplicated += 1
-                        q.push(Envelope(env.src, env.dst, env.bits, env.payload))
+                        delivered_bits += q.delivered_bits(start, first + 1)
+                        delivered_msgs += first
+                        q.requeue_from(start + first)
+                        got = got[:first]
+                    else:
+                        delivered_bits += q.delivered_bits(start, len(got))
+                        delivered_msgs += len(got)
+                else:
+                    delivered_bits += q.delivered_bits(start, len(got))
+                    delivered_msgs += len(got)
+                if not got:
+                    continue
+                if plan.delay_prob > 0.0:
+                    delay_mask = rng.random(len(got)) < plan.delay_prob
+                    if delay_mask.any():
+                        held = [env for env, d in zip(got, delay_mask) if d]
+                        delayed += len(held)
+                        dues = round_no + 1 + rng.integers(
+                            0, plan.max_delay_rounds, size=len(held)
+                        )
+                        delay_buffer.extend(
+                            (int(due), dst, env) for due, env in zip(dues, held)
+                        )
+                        got = [env for env, d in zip(got, delay_mask) if not d]
+                inboxes[dst].extend(got)
+                if plan.dup_prob > 0.0 and got:
+                    # Duplicates: second copies are queued for later rounds,
+                    # occupying real link bandwidth (mirroring the bulk
+                    # model's duplicate_rounds); receivers must tolerate
+                    # repeats.
+                    dup_mask = rng.random(len(got)) < plan.dup_prob
+                    for env, d in zip(got, dup_mask):
+                        if d:
+                            duplicated += 1
+                            q.push(Envelope(env.src, env.dst, env.bits, env.payload))
             # Compute: every non-stalled machine takes a step.
             any_sends = False
             any_stalled = False

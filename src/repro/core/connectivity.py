@@ -121,7 +121,7 @@ def _charge_termination_check(cluster: KMachineCluster, phase: int) -> int:
     """
     k = cluster.k
     up = CommStep(cluster.ledger, f"termination:phase-{phase}")
-    others = np.setdiff1d(np.arange(k, dtype=np.int64), np.array([0]))
+    others = np.arange(1, k, dtype=np.int64)
     up.add(others, 0, 1)
     rounds = up.deliver()
     down = CommStep(cluster.ledger, f"termination-bcast:phase-{phase}")
@@ -174,18 +174,32 @@ def connected_components_distributed(
     forest_m: list[np.ndarray] = []
     converged = False
     phases = 0
+    # Retry phases leave the labels untouched, so the part structure (and
+    # the incidence -> part mapping) is provably identical to the previous
+    # phase's; both are rebuilt only after a merge actually changed the
+    # labels (DESIGN.md §9).
+    parts: PartIndex | None = None
+    inc_part: np.ndarray | None = None
+    # Initial labels are the vertex ids, so the pre-loop component count
+    # is exactly n (keeps a max_phases=0 call honest without an upfront
+    # np.unique pass).
+    n_components = int(labels.size)
     for phase in range(1, budget + 1):
         phases = phase
         rounds_before = cluster.ledger.total_rounds
         if charge_shared_randomness:
             shared.charge_phase_distribution(cluster.ledger, phase)
-        parts = PartIndex.build(labels, cluster.partition)
+        if parts is None:
+            parts = PartIndex.build(labels, cluster.partition)
+            inc_part = parts.part_of_vertex[cluster.inc_owner]
+            n_components = parts.n_components
         selection = select_outgoing_edges(
             cluster,
             shared,
             labels,
             phase,
             parts=parts,
+            inc_part=inc_part,
             repetitions=repetitions,
             hash_family=hash_family,
         )
@@ -236,23 +250,28 @@ def connected_components_distributed(
             forest_m.append(selection.comp_proxy[kids])
         merge = merge_forest(cluster, shared, labels, forest, phase)
         labels = merge.labels
+        # One np.unique per merge: components_end here, n_components after
+        # the loop, and next phase's PartIndex all share this count.
+        n_components = int(np.unique(labels).size)
         stats.append(
             PhaseStats(
                 phase=phase,
                 components_start=parts.n_components,
-                components_end=int(np.unique(labels).size),
+                components_end=n_components,
                 edges_sampled=int(selection.found.sum()),
                 drr_max_depth=forest.max_depth,
                 merge_iterations=merge.iterations,
                 rounds=cluster.ledger.total_rounds - rounds_before,
             )
         )
+        parts = None  # labels changed: rebuild the part structure next phase
+        inc_part = None
     fu = np.concatenate(forest_u) if forest_u else np.empty(0, dtype=np.int64)
     fv = np.concatenate(forest_v) if forest_v else np.empty(0, dtype=np.int64)
     fm = np.concatenate(forest_m) if forest_m else np.empty(0, dtype=np.int64)
     return ConnectivityResult(
         labels=labels,
-        n_components=int(np.unique(labels).size),
+        n_components=n_components,
         rounds=cluster.ledger.total_rounds,
         phases=phases,
         converged=converged,

@@ -153,12 +153,18 @@ def minimum_spanning_tree_distributed(
     certified = True
     phases = 0
     id_bits = bits_for_id(max(n, 2))
+    # As in connectivity: retry phases (no merge) keep the labels, so the
+    # part structure and incidence -> part gather carry over unchanged.
+    parts = None
+    inc_part = None
     for phase in range(1, budget + 1):
         phases = phase
         rounds_before = cluster.ledger.total_rounds
         if charge_shared_randomness:
             shared.charge_phase_distribution(cluster.ledger, phase)
-        parts = PartIndex.build(labels, cluster.partition)
+        if parts is None:
+            parts = PartIndex.build(labels, cluster.partition)
+            inc_part = parts.part_of_vertex[cluster.inc_owner]
         c = parts.n_components
         bound = np.full(c, np.inf, dtype=np.float64)
         best_slot = np.full(c, -1, dtype=np.int64)
@@ -182,6 +188,7 @@ def minimum_spanning_tree_distributed(
                 iteration=t,
                 sketch_seed=derive_seed(shared.sketch_seed(phase), t),
                 parts=parts,
+                inc_part=inc_part,
                 repetitions=repetitions,
                 hash_family=hash_family,
                 weight_bound_per_comp=np.where(active, bound, 0.0),
@@ -272,6 +279,8 @@ def minimum_spanning_tree_distributed(
                 step.deliver()
         merge = merge_forest(cluster, shared, labels, forest, phase, first_iteration=elim_cap + 1)
         labels = merge.labels
+        parts = None  # labels changed: rebuild the part structure next phase
+        inc_part = None
         stats.append(
             MSTPhaseStats(
                 phase=phase,

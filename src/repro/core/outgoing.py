@@ -82,6 +82,7 @@ def select_outgoing_edges(
     iteration: int = 0,
     sketch_seed: int | None = None,
     parts: PartIndex | None = None,
+    inc_part: np.ndarray | None = None,
     repetitions: int = 6,
     hash_family: str = "prf",
     weight_bound_per_comp: np.ndarray | None = None,
@@ -102,6 +103,12 @@ def select_outgoing_edges(
     parts:
         Pre-built :class:`PartIndex` (labels unchanged since built);
         recomputed if omitted.
+    inc_part:
+        Pre-computed ``parts.part_of_vertex[cluster.inc_owner]`` (must
+        belong to ``parts``); recomputed if omitted.  Callers that run
+        several selections against one part structure — MST elimination
+        iterations, connectivity retry phases — pass it to skip the
+        per-call gather.
     repetitions / hash_family:
         Sketch parameters (see :class:`~repro.sketch.l0.SketchSpec`).
     weight_bound_per_comp:
@@ -120,7 +127,8 @@ def select_outgoing_edges(
 
     # 1. Local sketch construction per part (free local computation).
     ctx = SketchContext(spec, cluster.inc_slot, cluster.inc_sign)
-    inc_part = parts.part_of_vertex[cluster.inc_owner]
+    if inc_part is None:
+        inc_part = parts.part_of_vertex[cluster.inc_owner]
     mask = None
     if weight_bound_per_comp is not None:
         bound = np.asarray(weight_bound_per_comp, dtype=np.float64)

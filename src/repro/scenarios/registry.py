@@ -82,6 +82,24 @@ class Scenario:
             g = generators.with_unique_weights(g, seed=gseed)
         return g
 
+    def to_dict(self) -> dict:
+        """The full plan as JSON-ready data (``repro scenarios show``).
+
+        Every axis serializes through its own ``to_dict`` round-trip form
+        (:class:`PartitionConfig`, :class:`FaultPlan`, :class:`ChurnPlan`),
+        so a reproducibility report can reconstruct the exact hostile
+        condition from this dump alone; absent axes are ``None``.
+        """
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "family": self.family,
+            "weighted": self.weighted,
+            "partition": self.partition.to_dict(),
+            "faults": None if self.faults is None else self.faults.to_dict(),
+            "churn": None if self.churn is None else self.churn.to_dict(),
+        }
+
     def apply(self, config: RunConfig) -> RunConfig:
         """Overlay this scenario's hostile axes onto ``config``.
 

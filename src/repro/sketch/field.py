@@ -20,7 +20,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["MERSENNE_P", "addmod", "submod", "mulmod", "powmod", "poly_eval"]
+__all__ = [
+    "MERSENNE_P",
+    "addmod",
+    "submod",
+    "mulmod",
+    "powmod",
+    "poly_eval",
+    "poly_eval_rows",
+]
 
 #: p = 2^61 - 1, the 9th Mersenne prime.
 MERSENNE_P = (1 << 61) - 1
@@ -40,10 +48,19 @@ def _fold61(x: np.ndarray) -> np.ndarray:
 
     The final conditional subtraction is branch-free (subtract p exactly
     where x >= p) so 0-d inputs never trigger scalar underflow warnings.
+
+    After the first fold produces a fresh array, the remaining steps
+    update it in place: NumPy reuses chained temporaries, but every
+    *simultaneously live* temporary of a large operand is a fresh
+    allocation, and the allocator round-trips those pages to the kernel —
+    on the hot path that costs more than the arithmetic (DESIGN.md §9).
     """
-    x = (x >> _S61) + (x & _MASK61)
-    x = (x >> _S61) + (x & _MASK61)
-    return x - (x >= _P).astype(np.uint64) * _P
+    x = (x >> _S61) + (x & _MASK61)  # fresh result; in-place below is safe
+    high = x >> _S61
+    x &= _MASK61
+    x += high
+    x -= (x >= _P).astype(np.uint64) * _P
+    return x
 
 
 def addmod(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
@@ -71,8 +88,12 @@ def mulmod(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
       m1 + m0*2^32``;
     * ``a0*b0 < 2^64`` reduced by folding.
 
-    Each partial is < 2^62, so the final sum of four partials stays below
-    2^64 and folds correctly.
+    The partials sum to ``< 2^61 + 2^62 + (2^61 + 8) < 2^64``, so a single
+    final fold suffices — no per-partial reduction.  The partials are
+    accumulated into one running total with in-place adds, retiring each
+    temporary before the next is built: simultaneously live large
+    temporaries each cost a fresh kernel-round-trip allocation, which on
+    this path outweighs the arithmetic itself (DESIGN.md §9).
     """
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)
@@ -81,18 +102,19 @@ def mulmod(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
     b0 = b & _MASK32
     b1 = b >> _S32
 
-    hi = a1 * b1  # < 2^58
-    mid = a1 * b0 + a0 * b1  # < 2^62
     lo = a0 * b0  # < 2^64 (wraps only at exactly 2^64; max is (2^32-1)^2)
+    total = (lo >> _S61) + (lo & _MASK61)  # part_lo < 2^61 + 8; fresh array
+    del lo
+    total += (a1 * b1) * _EIGHT  # part_hi < 2^61 (2^64 === 8)
 
-    m1 = mid >> _S29
-    m0 = mid & _MASK29
-
-    part_hi = hi * _EIGHT  # < 2^61
-    part_mid = m1 + (m0 << _S32)  # < 2^33 + 2^61 < 2^62
-    part_lo = (lo >> _S61) + (lo & _MASK61)  # < 2^61 + 8
-
-    total = _fold61(part_hi) + _fold61(part_mid) + _fold61(part_lo)  # < 3p < 2^63
+    mid = a1 * b0  # accumulate mid = a1*b0 + a0*b1 < 2^62 in place
+    mid += a0 * b1
+    del a0, a1, b0, b1
+    total += mid >> _S29  # m1 < 2^33
+    mid &= _MASK29
+    mid <<= _S32
+    total += mid  # m0 * 2^32 < 2^61; total < 2^64 overall
+    del mid
     return _fold61(total)
 
 
@@ -135,4 +157,29 @@ def poly_eval(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
     acc = np.full(x.shape, coeffs[-1], dtype=np.uint64)
     for c in coeffs[-2::-1]:
         acc = addmod(mulmod(acc, x), c)
+    return acc
+
+
+def poly_eval_rows(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Evaluate ``R`` polynomials at the same points: ``(R, E)`` output.
+
+    ``coeffs`` is ``uint64[(R, d)]`` (one polynomial per row, ``[:, -1]``
+    the leading coefficients) and ``x`` is ``uint64[E]``.  Row ``i`` of the
+    result equals ``poly_eval(coeffs[i], x)`` exactly — the same Horner
+    recurrence evaluated on an ``(R, E)`` array, so a batch of sketch
+    repetitions costs ``d`` vectorized mulmods total instead of ``R * d``
+    small ones (the dominant win of the batched
+    :class:`~repro.sketch.l0.SketchContext` construction).
+    """
+    coeffs = np.asarray(coeffs, dtype=np.uint64)
+    x = np.asarray(x, dtype=np.uint64)
+    if coeffs.ndim != 2:
+        raise ValueError("coeffs must be 2-D: one polynomial per row")
+    r, d = coeffs.shape
+    if d == 0:
+        return np.zeros((r, x.size), dtype=np.uint64)
+    acc = np.empty((r, x.size), dtype=np.uint64)
+    acc[...] = coeffs[:, -1:]
+    for i in range(d - 2, -1, -1):
+        acc = addmod(mulmod(acc, x[None, :]), coeffs[:, i : i + 1])
     return acc

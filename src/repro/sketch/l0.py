@@ -27,9 +27,14 @@ Exactness
 ---------
 All accumulation is integer-exact: counts and id-sums use int64 (valid
 whenever ``total_incidences * n^2 < 2^62``, enforced by
-:class:`SketchSpec`), and mod-p fingerprint scatter-adds split values into
-30-bit halves so intermediate sums never overflow (see
-:func:`_modp_scatter_sum`).
+:class:`SketchSpec`), and mod-p fingerprint accumulation splits values
+into 30-bit halves so intermediate sums never overflow.  The segment
+reductions run through :mod:`repro.sketch.kernels` — ``np.bincount`` on
+the 30-bit halves (bit-exact in float64 below the 2^53 horizon, with an
+automatic ``np.add.at`` fallback above it) and sort + ``reduceat`` for
+row aggregation — which return the same integers the original
+``np.add.at`` scatters produced, only an order of magnitude faster
+(DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -40,40 +45,69 @@ import numpy as np
 
 from repro.sketch.edgespace import max_slot_bits
 from repro.sketch.field import MERSENNE_P, addmod, mulmod, powmod
-from repro.sketch.kwise import make_hash
+from repro.sketch.kernels import group_rows, segment_sum
+from repro.sketch.kwise import batch_values
 from repro.util.rng import derive_seed
 
 __all__ = ["SketchSpec", "SketchContext", "SketchBundle", "SampleResult"]
 
 _P = np.uint64(MERSENNE_P)
 _LOW30 = np.int64((1 << 30) - 1)
-_TWO30 = np.uint64(1 << 30)
+_MASK31 = np.uint64((1 << 31) - 1)
+
+
+#: max|weight| of a low 30-bit half times a +-1 sign.
+_MAX_LO = (1 << 30) - 1
+#: max|weight| of the high half of a value in [0, p), p = 2^61 - 1.
+_MAX_HI_FP = (MERSENNE_P - 1) >> 30
+
+
+def _count_levels_above(h: np.ndarray, levels: int) -> np.ndarray:
+    """``#{j in [0, levels): h < (p >> j)}`` for hash values ``h < p``.
+
+    ``h < p >> j  <=>  h + 1 < 2^(61-j)  <=>  bitlength(h+1) <= 61 - j``,
+    so the count is ``clip(62 - bitlength(h+1), 0, levels)``.  The bit
+    length comes from ``np.frexp`` of the float64 value with an exact
+    one-bit correction: conversion can only round *up*, bumping the
+    exponent exactly when ``v`` lands on a power of two it is strictly
+    below, which the integer shift test detects — a few O(1) passes
+    instead of a per-level comparison sweep or an E * log(levels) binary
+    search.
+    """
+    v = h + np.uint64(1)  # <= 2^61
+    _, exponent = np.frexp(v.astype(np.float64))  # v = m * 2^e, m in [0.5, 1)
+    bl = exponent.astype(np.int64)  # bitlength(v), possibly one too high
+    # Exact correction: true bitlength is e-1 iff v < 2^(e-1).
+    bl -= (v >> (bl - 1).astype(np.uint64)) == 0
+    return np.clip(np.int64(62) - bl, 0, levels)
 
 
 def _modp_scatter_sum(values: np.ndarray, signs: np.ndarray, idx: np.ndarray, n_out: int) -> np.ndarray:
     """Exact ``sum_j signs[j] * values[j] mod p`` grouped by ``idx``.
 
-    ``values`` are in ``[0, p)``; a direct uint64 ``np.add.at`` would wrap
-    mod 2^64 (not mod p) once more than 8 values land in a bin.  Splitting
-    each value into 30-bit halves keeps both signed accumulators within
-    int64 for up to ~2^32 contributions per bin.
+    ``values`` are in ``[0, p)``; a direct uint64 scatter would wrap mod
+    2^64 (not mod p) once more than 8 values land in a bin.  Splitting
+    each value into 30-bit halves keeps both signed accumulators exact
+    (see :mod:`repro.sketch.kernels` for the float64 horizon and the
+    int64 fallback).
     """
     v = values.astype(np.int64)
-    lo = (v & _LOW30) * signs
-    hi = (v >> np.int64(30)) * signs
-    acc_lo = np.zeros(n_out, dtype=np.int64)
-    acc_hi = np.zeros(n_out, dtype=np.int64)
-    np.add.at(acc_lo, idx, lo)
-    np.add.at(acc_hi, idx, hi)
+    acc_lo = segment_sum((v & _LOW30) * signs, idx, n_out, max_abs=_MAX_LO)
+    acc_hi = segment_sum((v >> np.int64(30)) * signs, idx, n_out, max_abs=_MAX_HI_FP)
     return _combine_halves(acc_lo, acc_hi)
 
 
 def _combine_halves(acc_lo: np.ndarray, acc_hi: np.ndarray) -> np.ndarray:
-    """Recombine signed 30-bit-split accumulators into values mod p."""
-    p = np.int64(MERSENNE_P)
-    lo_m = (acc_lo % p).astype(np.uint64)
-    hi_m = (acc_hi % p).astype(np.uint64)
-    return addmod(mulmod(hi_m, _TWO30), lo_m)
+    """Recombine signed 30-bit-split accumulators into values mod p.
+
+    ``hi * 2^30 mod p`` needs no general mulmod: with ``hi = h1*2^31 + h0``
+    and ``2^61 === 1``, it is ``h1 + h0*2^30 < 2^64`` — two shifts and an
+    add, folded by the addmod.
+    """
+    lo_m = (acc_lo % np.int64(MERSENNE_P)).astype(np.uint64)
+    hi_m = (acc_hi % np.int64(MERSENNE_P)).astype(np.uint64)
+    hi_shifted = (hi_m >> np.uint64(31)) + ((hi_m & _MASK31) << np.uint64(30))
+    return addmod(hi_shifted, lo_m)
 
 
 @dataclass(frozen=True)
@@ -186,17 +220,15 @@ class SketchBundle:
         gm = np.asarray(group_map, dtype=np.int64)
         if gm.shape != (self.n_groups,):
             raise ValueError("group_map must have one entry per group")
-        r, l = self.spec.repetitions, self.spec.levels
-        counts = np.zeros((n_out, r, l), dtype=np.int64)
-        sums = np.zeros((n_out, r, l), dtype=np.int64)
-        np.add.at(counts, gm, self.counts)
-        np.add.at(sums, gm, self.sums)
-        # Fingerprints: 30-bit-split exact mod-p scatter.
-        lo = np.zeros((n_out, r, l), dtype=np.int64)
-        hi = np.zeros((n_out, r, l), dtype=np.int64)
+        # The summed rows hold already-accumulated (unbounded) values, so
+        # this reduction stays in int64 end to end: sort + reduceat over
+        # the leading axis (exactly np.add.at's integers, vectorized).
+        counts = group_rows(self.counts, gm, n_out)
+        sums = group_rows(self.sums, gm, n_out)
+        # Fingerprints: 30-bit-split exact mod-p accumulation.
         f_i = self.fps.astype(np.int64)
-        np.add.at(lo, gm, f_i & _LOW30)
-        np.add.at(hi, gm, f_i >> np.int64(30))
+        lo = group_rows(f_i & _LOW30, gm, n_out)
+        hi = group_rows(f_i >> np.int64(30), gm, n_out)
         return SketchBundle(self.spec, counts, sums, _combine_halves(lo, hi))
 
     # -- queries -----------------------------------------------------------
@@ -234,20 +266,19 @@ class SketchBundle:
         slots = slots_all[gi, ri, li].astype(np.uint64)
         signs = c[gi, ri, li]
         fps = self.fps[gi, ri, li]
-        # Verify fingerprints per candidate, batched by repetition (the
-        # base r differs across repetitions).
-        ok = np.zeros(gi.size, dtype=bool)
+        # Verify fingerprints for all candidates in one batched powmod:
+        # the base differs per repetition, so gather each candidate's base
+        # by its repetition index (powmod is elementwise, so this computes
+        # the same values the per-repetition loop did).
         bits = max_slot_bits(self.spec.n)
-        for rep in range(r):
-            sel = ri == rep
-            if not sel.any():
-                continue
-            base = np.uint64(self.spec.fingerprint_base(rep))
-            expected = powmod(base, slots[sel], max_exp_bits=bits)
-            neg = signs[sel] < 0
-            exp_signed = expected.copy()
-            exp_signed[neg] = (_P - expected[neg]) % _P
-            ok[sel] = fps[sel] == exp_signed
+        bases = np.array(
+            [self.spec.fingerprint_base(rep) for rep in range(r)], dtype=np.uint64
+        )
+        expected = powmod(bases[ri], slots, max_exp_bits=bits)
+        neg = signs < 0
+        exp_signed = expected.copy()
+        exp_signed[neg] = (_P - expected[neg]) % _P
+        ok = fps == exp_signed
         if not ok.any():
             return SampleResult(found, out_slot, out_sign)
         gi, ri, li, slots, signs = gi[ok], ri[ok], li[ok], slots[ok], signs[ok]
@@ -307,38 +338,59 @@ class SketchContext:
         self.signs = np.asarray(signs, dtype=np.int64)
         if self.slots.shape != self.signs.shape or self.slots.ndim != 1:
             raise ValueError("slots and signs must be 1-D of equal length")
-        e = self.slots.size
         r, l = spec.repetitions, spec.levels
-        self.depths = np.empty((r, e), dtype=np.int64)
-        self.fp_contrib = np.empty((r, e), dtype=np.uint64)
         bits = max_slot_bits(spec.n)
-        # Descending thresholds T[l] = p >> l; depth = (#thresholds > h) - 1.
-        thresholds = MERSENNE_P >> np.arange(l, dtype=np.uint64)
-        asc = thresholds[::-1].copy()
-        for rep in range(r):
-            h = make_hash(
-                derive_seed(spec.seed, 0x1E, rep), independence=bits + 4, family=spec.hash_family
-            ).values(self.slots)
-            gt = l - np.searchsorted(asc, h, side="right")
-            self.depths[rep] = np.clip(gt - 1, 0, l - 1)
-            self.fp_contrib[rep] = self._slot_powers(rep)
+        # Per-slot work (hash, depth, fingerprint power) depends only on
+        # the slot id.  Clusters build incidence lists as two mirrored
+        # halves — concat(u, v) owners against concat(v, u) others — so
+        # the slot array is typically the same block twice; detecting that
+        # (one vectorized compare) halves the whole construction, and the
+        # results are expanded back to per-incidence arrays unchanged.
+        e = self.slots.size
+        half = e // 2
+        mirrored = e >= 2 and e % 2 == 0 and np.array_equal(self.slots[:half], self.slots[half:])
+        eval_slots = self.slots[:half] if mirrored else self.slots
+        # All repetitions batch into one (R, E) hash evaluation: per-rep
+        # randomness (coefficients / PRF keys) is derived exactly as the
+        # per-rep loop did, only the field arithmetic is 2-D.
+        seeds = [derive_seed(spec.seed, 0x1E, rep) for rep in range(r)]
+        h = batch_values(seeds, bits + 4, spec.hash_family, eval_slots)
+        # Descending thresholds T[l] = p >> l; depth = (#thresholds > h) - 1
+        # with #{j < L: h < p >> j} = clip(61 - floor(log2(h + 1)), 0, L)
+        # (see _count_levels_above) — a handful of passes independent of L,
+        # replacing the per-level searchsorted of the per-repetition loop.
+        gt = _count_levels_above(h, l)
+        depths = np.clip(gt - 1, 0, l - 1)
+        fp = self._slot_powers(eval_slots)
+        if mirrored:
+            depths = np.concatenate([depths, depths], axis=1)
+            fp = np.concatenate([fp, fp], axis=1)
+        self.depths = depths
+        self.fp_contrib = fp
 
-    def _slot_powers(self, rep: int) -> np.ndarray:
-        """r^slot mod p for every incidence, via two n-sized power tables.
+    def _slot_powers(self, slots: np.ndarray) -> np.ndarray:
+        """r^slot mod p per (repetition, slot), via (2R, n) power tables.
 
         ``slot = x*n + y`` with ``x, y < n`` gives
-        ``r^slot = (r^n)^x * r^y``; building both tables costs O(n)
-        mulmods (doubling construction) instead of O(E log n) powmods.
+        ``r^slot = (r^n)^x * r^y``.  Each ``r^n`` comes from a scalar-
+        exponent square-and-multiply on the R bases at once; both tables
+        (base rows and base^n rows) then build in a *single* stacked
+        doubling pass — O(R * n) mulmods over O(log n) vectorized passes
+        instead of O(R * E log n) powmods, with the per-call overhead of
+        one table construction rather than 2R.
         """
         n = self.spec.n
-        base = np.uint64(self.spec.fingerprint_base(rep))
-        table_low = _power_table(base, n)
-        r_n = table_low[-1] if n >= 1 else np.uint64(1)
-        r_n = mulmod(r_n, base)  # table_low[-1] = r^(n-1) -> r^n
-        table_high = _power_table(np.uint64(r_n), n)
-        x = (self.slots // np.uint64(n)).astype(np.int64)
-        y = (self.slots % np.uint64(n)).astype(np.int64)
-        return mulmod(table_high[x], table_low[y])
+        r = self.spec.repetitions
+        bases = np.array(
+            [self.spec.fingerprint_base(rep) for rep in range(r)], dtype=np.uint64
+        )
+        # r^n per base via Python bigint modpow: at R elements the numpy
+        # square-and-multiply loop is pure dispatch overhead.
+        r_n = np.array([pow(int(b), n, MERSENNE_P) for b in bases], dtype=np.uint64)
+        table = _power_table(np.concatenate([bases, r_n]), n)  # (2R, n)
+        x = (slots // np.uint64(n)).astype(np.int64)
+        y = (slots % np.uint64(n)).astype(np.int64)
+        return mulmod(table[r:, x], table[:r, y])
 
     @property
     def n_incidences(self) -> int:
@@ -360,25 +412,44 @@ class SketchContext:
         gi = np.asarray(group_idx, dtype=np.int64)
         if gi.shape != self.slots.shape:
             raise ValueError("group_idx must have one entry per incidence")
-        sel = np.arange(gi.size) if mask is None else np.nonzero(np.asarray(mask, dtype=bool))[0]
         r, l = self.spec.repetitions, self.spec.levels
-        counts = np.zeros((n_groups, r, l), dtype=np.int64)
-        sums = np.zeros((n_groups, r, l), dtype=np.int64)
-        fps_lo = np.zeros((n_groups, r, l), dtype=np.int64)
-        fps_hi = np.zeros((n_groups, r, l), dtype=np.int64)
-        g_sel = gi[sel]
-        sign_sel = self.signs[sel]
-        slot_signed = self.slots[sel].astype(np.int64) * sign_sel
-        for rep in range(r):
-            d = self.depths[rep, sel]
-            # Incidence at depth d lives in levels 0..d; accumulate into the
-            # (group, depth) bin, then suffix-sum over the level axis below.
-            flat = (g_sel * np.int64(r) + rep) * np.int64(l) + d
-            np.add.at(counts.reshape(-1), flat, sign_sel)
-            np.add.at(sums.reshape(-1), flat, slot_signed)
-            f = self.fp_contrib[rep, sel].astype(np.int64)
-            np.add.at(fps_lo.reshape(-1), flat, (f & _LOW30) * sign_sel)
-            np.add.at(fps_hi.reshape(-1), flat, (f >> np.int64(30)) * sign_sel)
+        if mask is None:
+            g_sel, sign_sel, slots_sel = gi, self.signs, self.slots
+            d, f = self.depths, self.fp_contrib
+        else:
+            sel = np.asarray(mask, dtype=bool)
+            g_sel, sign_sel, slots_sel = gi[sel], self.signs[sel], self.slots[sel]
+            d, f = self.depths[:, sel], self.fp_contrib[:, sel]
+        e_sel = g_sel.size
+        size = n_groups * r * l
+        shape = (n_groups, r, l)
+        # Incidence at depth d lives in levels 0..d; accumulate into the
+        # flat (group, repetition, depth) bin — all repetitions at once —
+        # then suffix-sum over the level axis below.  Bins never mix
+        # repetitions, so each receives at most e_sel contributions (the
+        # exactness bound the bincount kernel checks against).
+        flat = (
+            (g_sel[None, :] * np.int64(r) + np.arange(r, dtype=np.int64)[:, None])
+            * np.int64(l)
+            + d
+        ).ravel()
+
+        def scatter(weights: np.ndarray, max_abs: int) -> np.ndarray:
+            tiled = np.broadcast_to(weights, (r, e_sel)).ravel() if weights.ndim == 1 else weights.ravel()
+            return segment_sum(
+                tiled, flat, size, max_abs=max_abs, max_count=e_sel
+            ).reshape(shape)
+
+        counts = scatter(sign_sel, 1)
+        # Id-sums: one scatter with max|w| = n^2 - 1.  Within the float64
+        # horizon this is a single exact bincount; far beyond it (huge
+        # incidence lists on huge n) the kernel falls back to the int64
+        # np.add.at reference — exact either way.
+        slot_signed = slots_sel.view(np.int64) * sign_sel  # slots < n^2 < 2^63: view-safe
+        sums = scatter(slot_signed, max(1, int(self.spec.n) ** 2 - 1))
+        f64 = f.view(np.int64)  # values < p < 2^63: reinterpret, no copy
+        fps_lo = scatter((f64 & _LOW30) * sign_sel[None, :], _MAX_LO)
+        fps_hi = scatter((f64 >> np.int64(30)) * sign_sel[None, :], _MAX_HI_FP)
         # Suffix-cumulative over levels: level l = sum over depths >= l.
         counts = np.flip(np.cumsum(np.flip(counts, axis=2), axis=2), axis=2)
         sums = np.flip(np.cumsum(np.flip(sums, axis=2), axis=2), axis=2)
@@ -387,18 +458,22 @@ class SketchContext:
         return SketchBundle(self.spec, counts, sums, _combine_halves(fps_lo, fps_hi))
 
 
-def _power_table(base: np.ndarray | int, size: int) -> np.ndarray:
-    """``[base^0, base^1, ..., base^(size-1)] mod p`` by doubling.
+def _power_table(bases: np.ndarray, size: int) -> np.ndarray:
+    """``table[i, j] = bases[i]^j mod p`` for ``j < size``, by doubling.
 
-    O(size) field multiplications across O(log size) vectorized passes.
+    ``bases`` is ``uint64[R]``; O(R * size) field multiplications across
+    O(log size) vectorized passes, all R rows doubling together.  The
+    per-doubling step values ``base^(2^k)`` are maintained as Python ints
+    (R bigint mulmods beat a whole numpy dispatch at that size).
     """
+    bases = np.atleast_1d(np.asarray(bases, dtype=np.uint64))
+    r = bases.shape[0]
     if size < 1:
-        return np.ones(1, dtype=np.uint64)
-    table = np.ones(1, dtype=np.uint64)
-    b = np.uint64(base)
-    step = np.uint64(b)  # base^(len(table)) at each doubling
-    while table.size < size:
-        ext = mulmod(table, step)
-        table = np.concatenate([table, ext])
-        step = mulmod(step, step)
-    return table[:size]
+        return np.ones((r, 1), dtype=np.uint64)
+    table = np.ones((r, 1), dtype=np.uint64)
+    step = [int(b) for b in bases]  # bases^(table width) at each doubling
+    while table.shape[1] < size:
+        ext = mulmod(table, np.array(step, dtype=np.uint64)[:, None])
+        table = np.concatenate([table, ext], axis=1)
+        step = [s * s % MERSENNE_P for s in step]
+    return table[:, :size]

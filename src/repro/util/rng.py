@@ -50,10 +50,13 @@ def splitmix64(x: np.ndarray | int) -> np.ndarray:
         ``uint64`` array of the same shape with well-mixed values.
     """
     z = np.asarray(x, dtype=np.uint64)
-    z = (z + GOLDEN_GAMMA).astype(np.uint64)
-    z = (z ^ (z >> _S30)) * _M1
-    z = (z ^ (z >> _S27)) * _M2
-    return z ^ (z >> _S31)
+    z = z + GOLDEN_GAMMA  # fresh array; in-place below never aliases input
+    z ^= z >> _S30
+    z *= _M1
+    z ^= z >> _S27
+    z *= _M2
+    z ^= z >> _S31
+    return z
 
 
 def splitmix64_scalar(x: int) -> int:

@@ -120,6 +120,76 @@ def test_program_count_checked():
         SyncEngine(ClusterTopology(k=3, bandwidth_bits=8)).run([PingPong()])
 
 
+@dataclass
+class _Staggered:
+    """Deterministic multi-link workload: fragmentation + interleaving."""
+
+    k: int
+    received: list = field(default_factory=list)
+
+    def on_round(self, machine, round_no, inbox):
+        self.received.extend((machine, env.src, env.payload) for env in inbox)
+        outs = []
+        if round_no <= 3:
+            for dst in range(self.k):
+                if dst != machine:
+                    bits = 7 * machine + 13 * dst + 11 * round_no
+                    outs.append(Envelope(machine, dst, bits, (machine, dst, round_no)))
+        for env in inbox:
+            if isinstance(env.payload, tuple) and len(env.payload) == 3:
+                outs.append(Envelope(machine, env.src, 5, ("ack",)))
+        return outs
+
+    def is_done(self, machine):
+        return True
+
+
+def test_clean_path_accounting_pinned():
+    """Regression oracle for the array-backed mailbox rewrite.
+
+    The expected values (rounds, message/bit totals, and the SHA-256 of
+    the full per-round delivery sequence) were recorded from the original
+    per-envelope deque implementation on this exact workload; the
+    vectorized link layer must reproduce them bit for bit.
+    """
+    import hashlib
+
+    topo = ClusterTopology(k=4, bandwidth_bits=17)
+    programs = [_Staggered(4) for _ in range(4)]
+    shared = programs[0].received
+    for p in programs:
+        p.received = shared
+    result = SyncEngine(topo).run(programs)
+    assert result.terminated
+    assert result.rounds == 16
+    assert result.delivered_messages == 72
+    assert result.delivered_bits == 2052
+    digest = hashlib.sha256(repr(shared).encode()).hexdigest()
+    assert digest == "af44079f86219feb99aaccbeead997b8abff8f498c3e8baaeb648041d04c56ac"
+
+
+def test_zero_bit_envelope_behind_exact_budget_waits_a_round():
+    """A zero-bit message queued behind one that exactly exhausts the
+    round budget must wait for the next round — the original loop exited
+    at budget == 0 before reaching it (pinned against the bisect window).
+    """
+    from repro.cluster.engine import _LinkQueue
+
+    q = _LinkQueue()
+    q.push(Envelope(0, 1, 10, "full"))
+    q.push(Envelope(0, 1, 0, "signal"))
+    got, _ = q.drain(10)
+    assert [env.payload for env in got] == ["full"]
+    got, _ = q.drain(10)
+    assert [env.payload for env in got] == ["signal"]
+    # With budget to spare, zero-bit messages ride along immediately.
+    q2 = _LinkQueue()
+    q2.push(Envelope(0, 1, 10, "full"))
+    q2.push(Envelope(0, 1, 0, "signal"))
+    got, _ = q2.drain(11)
+    assert [env.payload for env in got] == ["full", "signal"]
+
+
 def test_max_rounds_cutoff_raises_with_partial_accounting():
     import pytest
 

@@ -142,6 +142,16 @@ class TestComplexityShape:
         # One phase cannot finish a 200-vertex component: not converged.
         assert not res.converged
 
+    def test_zero_phase_budget_reports_initial_components(self):
+        # Degenerate direct-library call: no phase ever runs, so every
+        # vertex is still its own component and the count must say so.
+        g = gen.gnm_random(50, 150, seed=3)
+        cl = KMachineCluster.create(g, k=4, seed=3)
+        res = connected_components_distributed(cl, seed=3, max_phases=0)
+        assert res.phases == 0
+        assert not res.converged
+        assert res.n_components == 50
+
 
 class TestCountProtocol:
     def test_count_matches(self):

@@ -197,6 +197,36 @@ class TestCli:
         assert "worst_case_storm" in out
         assert "faults" in out
 
+    def test_scenarios_show_dumps_full_plan_json(self, capsys):
+        import json
+
+        from repro.cluster.partition import PartitionConfig
+        from repro.scenarios.churn import ChurnPlan
+        from repro.scenarios.faults import FaultPlan
+
+        assert main(["scenarios", "show", "churn_storm"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        sc = get_scenario("churn_storm")
+        assert plan["name"] == "churn_storm"
+        assert plan["summary"] == sc.summary
+        # Every axis round-trips through its own from_dict form, so the
+        # dump alone reconstructs the exact hostile condition.
+        assert FaultPlan.from_dict(plan["faults"]) == sc.faults
+        assert ChurnPlan.from_dict(plan["churn"]) == sc.churn
+        assert PartitionConfig.from_dict(plan["partition"]) == sc.partition
+
+    def test_scenarios_show_family_and_absent_axes(self, capsys):
+        import json
+
+        assert main(["scenarios", "show", "lollipop"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["family"] == "lollipop"
+        assert plan["faults"] is None and plan["churn"] is None
+
+    def test_scenarios_show_unknown_is_usage_error(self, capsys):
+        assert main(["scenarios", "show", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
     def test_run_with_scenario(self, capsys):
         code = main(
             ["run", "connectivity", "--n", "80", "--k", "4", "--scenario", "faulty_links"]

@@ -1,0 +1,92 @@
+"""Render a wall-clock speedup table from two BENCH_*.json artifact dirs.
+
+Usage::
+
+    python tools/speedup_table.py BASELINE_DIR CURRENT_DIR [--title TEXT]
+
+Prints a markdown table (one row per benchmark, total last) comparing the
+summed per-cell wall times of matching artifacts, plus the environment
+stamps of both sides.  Metrics are deliberately ignored — byte-exactness
+of metrics is `repro bench compare`'s job; this tool only records the
+wall-clock trajectory (see DESIGN.md §9).  The committed instance lives at
+benchmarks/results/SPEEDUP_hotpath_vectorization.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def _load(directory: Path) -> dict[str, dict]:
+    out = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        data = json.loads(path.read_text(encoding="utf-8"))
+        out[data["bench"]] = data
+    if not out:
+        raise SystemExit(f"no BENCH_*.json artifacts under {directory}")
+    return out
+
+
+def _wall(envelope: dict) -> float:
+    return sum(cell["wall_time_s"] for cell in envelope["cells"])
+
+
+def _stamp(envelope: dict) -> str:
+    env = envelope.get("environment", {})
+    return (
+        f"python {env.get('python', '?')}, numpy {env.get('numpy', '?')}, "
+        f"{env.get('platform', '?')}"
+    )
+
+
+def render(baseline_dir: Path, current_dir: Path, title: str) -> str:
+    baseline = _load(baseline_dir)
+    current = _load(current_dir)
+    shared = [name for name in baseline if name in current]
+    lines = [
+        f"# {title}",
+        "",
+        f"- baseline: `{baseline_dir}` ({_stamp(next(iter(baseline.values())))})",
+        f"- current: `{current_dir}` ({_stamp(next(iter(current.values())))})",
+        "- wall times are the sum over each benchmark's quick-tier cells;"
+        " metrics byte-identity is checked separately by `repro bench compare`.",
+        "",
+        "| benchmark | cells | before (s) | after (s) | speedup |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    total_before = total_after = 0.0
+    for name in shared:
+        before, after = _wall(baseline[name]), _wall(current[name])
+        total_before += before
+        total_after += after
+        ratio = before / after if after > 0 else float("inf")
+        lines.append(
+            f"| {name} | {len(baseline[name]['cells'])} "
+            f"| {before:.4f} | {after:.4f} | {ratio:.2f}x |"
+        )
+    ratio = total_before / total_after if total_after > 0 else float("inf")
+    lines.append(
+        f"| **total** | | **{total_before:.4f}** | **{total_after:.4f}** | **{ratio:.2f}x** |"
+    )
+    missing = sorted(set(baseline) ^ set(current))
+    if missing:
+        lines += ["", f"unmatched artifacts (skipped): {', '.join(missing)}"]
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="baseline artifact directory")
+    parser.add_argument("current", type=Path, help="current artifact directory")
+    parser.add_argument(
+        "--title", default="Quick-tier wall-clock speedup", help="table heading"
+    )
+    args = parser.parse_args()
+    print(render(args.baseline, args.current, args.title), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
