@@ -1,0 +1,106 @@
+"""EXP V1/V2 — graph service: coalesced throughput & latency (DESIGN.md §10).
+
+Thin wrappers over the registered ``service_throughput`` /
+``service_latency`` grids (see ``repro.bench.suites.service``).  Each cell
+is a complete drive: in-process server on loopback, seeded mix through the
+wire protocol, clean teardown.  The qualitative claims asserted here:
+
+* every drive completes loss-free — all requests served, zero errors,
+  zero cache evictions (the grids are sized eviction-free by design);
+* coalescing is real and exact: each distinct cluster key builds exactly
+  once, every other request is a cache hit, so hotter mixes coalesce
+  strictly more;
+* the served bytes are schedule-independent — the SHA-256 over every
+  envelope is identical across worker counts and client concurrency for
+  the same seeded mix, the determinism contract of DESIGN.md §10 on the
+  wire itself.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import report, run_registered
+from repro.analysis import format_table
+
+
+def _rows(result):
+    return [
+        (
+            c.params.get("mix", "benign"),
+            c.params["requests"],
+            c.params["clients"],
+            c.params.get("workers", 2),
+            c.params.get("hot", 0.75),
+            c.metrics["distinct_keys"],
+            c.metrics["coalesce_hits"],
+            c.metrics["cluster_builds"],
+            c.metrics["total_rounds"],
+            c.metrics["errors"],
+        )
+        for c in result.cells
+    ]
+
+
+_HEADERS = [
+    "mix",
+    "requests",
+    "clients",
+    "workers",
+    "hot",
+    "distinct keys",
+    "coalesce hits",
+    "builds",
+    "rounds",
+    "errors",
+]
+
+
+def _assert_drive_invariants(result):
+    for c in result.cells:
+        m = c.metrics
+        assert m["errors"] == 0, f"cell {c.key} dropped requests"
+        assert m["reports_served"] == m["requests"], f"cell {c.key} lost reports"
+        assert m["cluster_evictions"] == 0, f"cell {c.key} evicted (grid not sized)"
+        # Exact coalescing: one build per distinct key, a hit for the rest.
+        assert m["cluster_builds"] == m["distinct_keys"], c.key
+        assert m["coalesce_hits"] == m["requests"] - m["distinct_keys"], c.key
+        assert m["coalesce_hits"] > 0, f"cell {c.key} coalesced nothing"
+        assert len(m["envelope_sha256"]) == 64, c.key
+
+
+def test_service_throughput(benchmark):
+    result = run_registered(benchmark, "service_throughput")
+    table = format_table(
+        _HEADERS,
+        _rows(result),
+        title="V1 - service throughput over seeded mixes (closed-loop)",
+    )
+    report("V1_service_throughput", table)
+    _assert_drive_invariants(result)
+    by_cell = {(c.params["mix"], c.params.get("workers", 2), c.params["hot"]): c
+               for c in result.cells}
+    # Worker count changes scheduling, never the served bytes or accounting.
+    two, four = by_cell[("benign", 2, 0.75)], by_cell[("benign", 4, 0.75)]
+    assert two.metrics == four.metrics, "worker count leaked into gated metrics"
+    # A hotter mix coalesces strictly more of the same request volume.
+    cold = by_cell[("benign", 2, 0.25)]
+    assert two.metrics["coalesce_hits"] > cold.metrics["coalesce_hits"], (
+        "hot mix did not out-coalesce the cold mix"
+    )
+
+
+def test_service_latency(benchmark):
+    result = run_registered(benchmark, "service_latency")
+    table = format_table(
+        _HEADERS,
+        _rows(result),
+        title="V2 - service latency across client concurrency (closed-loop)",
+    )
+    report("V2_service_latency", table)
+    _assert_drive_invariants(result)
+    # Client concurrency is a pure timing axis: every gated metric —
+    # including the envelope digest — is identical across the cells.
+    first = result.cells[0].metrics
+    for c in result.cells[1:]:
+        assert c.metrics == first, (
+            f"client concurrency leaked into gated metrics at {c.key}"
+        )

@@ -54,8 +54,9 @@ class BenchSpec:
     title:
         Human one-liner (which theorem/lemma/ablation the grid reproduces).
     group:
-        Coarse family for listings: ``scaling`` | ``baseline`` |
-        ``ablation`` | ``structure`` | ``lowerbound``.
+        Coarse family for listings (:data:`BENCH_GROUPS`): ``scaling`` |
+        ``baseline`` | ``ablation`` | ``structure`` | ``lowerbound`` |
+        ``scenario`` | ``service``.
     cells:
         Full-tier scenario grid (the paper-scale sweep).
     quick_cells:
@@ -82,7 +83,15 @@ class BenchSpec:
         return self.quick_cells if tier == "quick" else self.cells
 
 
-BENCH_GROUPS = ("scaling", "baseline", "ablation", "structure", "lowerbound", "scenario")
+BENCH_GROUPS = (
+    "scaling",
+    "baseline",
+    "ablation",
+    "structure",
+    "lowerbound",
+    "scenario",
+    "service",
+)
 
 
 def register_benchmark(

@@ -11,4 +11,5 @@ import repro.bench.suites.baselines  # noqa: F401
 import repro.bench.suites.lowerbound  # noqa: F401
 import repro.bench.suites.scaling  # noqa: F401
 import repro.bench.suites.scenarios  # noqa: F401
+import repro.bench.suites.service  # noqa: F401
 import repro.bench.suites.structure  # noqa: F401

@@ -1,0 +1,129 @@
+"""Service benchmarks: the measured throughput/latency axis of the server.
+
+Each cell spawns an in-process :class:`~repro.service.server.GraphService`
+on an ephemeral loopback port, drives a seeded request mix at it with the
+load generator, and tears it down — the full wire path (framing, dispatch,
+coalescing, envelope streaming), not a shortcut through the Session API.
+
+The determinism split (DESIGN.md §10) is what makes these perf-gateable at
+all: the *gated* metrics are :meth:`LoadgenResult.deterministic_metrics`
+— request/report counts, coalesce hits vs cluster builds, graph-cache
+traffic, total model rounds/bits, and the SHA-256 over every served
+envelope (which pins the wire bytes of the whole mix).  They are pure
+functions of the seeded mix because key-affinity dispatch serializes each
+cluster key on one single-threaded worker and the caches are sized
+eviction-free for the grid.  Wall-clock facts — throughput, latency
+percentiles — depend on the machine and the interleaving, so they ride in
+the advisory ``_wall_time_s`` channel only:
+
+* ``service_throughput`` reports the whole-drive wall (requests / wall =
+  the advisory throughput trend CI plots);
+* ``service_latency`` reports the mean per-request latency of the drive
+  (the advisory latency trend), across a client-concurrency axis.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.bench.registry import register_benchmark
+from repro.service.loadgen import LoadgenOptions, MixSpec, run_with_local_service
+
+__all__: list[str] = []
+
+#: Scenario populations the mixes draw from: benign gnm plus registered
+#: hostile scenarios, exercising the scenario overlay on the wire path.
+_MIX_SCENARIOS = {
+    "benign": (None,),
+    "mixed": (None, "skew_powerlaw", "faulty_links"),
+}
+
+
+def _drive(cell: dict, seed: int) -> dict:
+    """Run one service drive cell; gated metrics + advisory wall override."""
+    spec = MixSpec(
+        algorithms=tuple(cell.get("algorithms", ("connectivity",))),
+        scenarios=_MIX_SCENARIOS[str(cell.get("mix", "benign"))],
+        ns=tuple(int(n) for n in cell["ns"]),
+        ks=(int(cell.get("k", 4)),),
+        seeds=tuple(range(int(cell.get("seeds", 2)))),
+        epochs=int(cell.get("epochs", 1)),
+        hot_fraction=float(cell.get("hot", 0.75)),
+    )
+    options = LoadgenOptions(
+        requests=int(cell["requests"]),
+        clients=int(cell["clients"]),
+        mode="closed",
+        mix=spec,
+        mix_seed=seed,
+    )
+    result = asyncio.run(
+        run_with_local_service(
+            options,
+            workers=int(cell.get("workers", 2)),
+            # Eviction-free by construction: never fewer slots than the mix
+            # has distinct cluster/graph keys, so the gated hit/miss counts
+            # stay pure functions of the seeded mix.
+            max_clusters=max(32, int(cell["requests"])),
+            graph_cache_size=max(16, int(cell["requests"])),
+        )
+    )
+    wall = cell.get("_advisory", "drive")
+    return {
+        **result.deterministic_metrics(),
+        "_wall_time_s": (
+            result.wall_s
+            if wall == "drive"
+            else float(result.latency_s["mean"])
+        ),
+    }
+
+
+@register_benchmark(
+    "service_throughput",
+    title="Graph service: coalesced throughput over seeded request mixes",
+    group="service",
+    cells=[
+        {"requests": 64, "clients": 8, "workers": 2, "ns": [256, 384], "mix": "benign",
+         "hot": 0.75},
+        {"requests": 64, "clients": 8, "workers": 4, "ns": [256, 384], "mix": "benign",
+         "hot": 0.75},
+        {"requests": 64, "clients": 8, "workers": 2, "ns": [256, 384], "mix": "mixed",
+         "hot": 0.75, "epochs": 2},
+        # The cold leg needs a population larger than its distinct-key
+        # count, or the hot knob cannot show: 2 ns x 4 seeds x 2 epochs.
+        {"requests": 64, "clients": 8, "workers": 2, "ns": [256, 384], "mix": "benign",
+         "hot": 0.25, "seeds": 4, "epochs": 2},
+    ],
+    quick_cells=[
+        {"requests": 20, "clients": 4, "workers": 2, "ns": [64, 96], "mix": "benign",
+         "hot": 0.75},
+        {"requests": 20, "clients": 4, "workers": 2, "ns": [64, 96], "mix": "mixed",
+         "hot": 0.75},
+        {"requests": 20, "clients": 4, "workers": 2, "ns": [64, 96], "mix": "benign",
+         "hot": 0.25, "seeds": 4, "epochs": 2},
+    ],
+    seed=11,
+)
+def _throughput(cell: dict, seed: int) -> dict:
+    return _drive({**cell, "_advisory": "drive"}, seed)
+
+
+@register_benchmark(
+    "service_latency",
+    title="Graph service: per-request latency across client concurrency",
+    group="service",
+    cells=[
+        {"requests": 48, "clients": c, "workers": 2, "ns": [256], "mix": "benign",
+         "hot": 0.75}
+        for c in (1, 4, 16)
+    ],
+    quick_cells=[
+        {"requests": 16, "clients": c, "workers": 2, "ns": [64], "mix": "benign",
+         "hot": 0.75}
+        for c in (1, 8)
+    ],
+    seed=11,
+)
+def _latency(cell: dict, seed: int) -> dict:
+    return _drive({**cell, "_advisory": "latency"}, seed)

@@ -14,6 +14,11 @@ Subcommands
 * ``repro scenarios list`` — the adversarial scenario registry; pair with
   ``repro run <algorithm> --scenario <name>`` to run any algorithm under
   faults, partition skew and worst-case inputs (DESIGN.md §7).
+* ``repro serve`` — the always-on graph service: an asyncio server over a
+  pool of warm Sessions with request coalescing (DESIGN.md §10).
+* ``repro loadgen`` — drive a seeded deterministic request mix at a
+  running server (or ``--spawn`` one in-process) and report latency
+  percentiles plus coalescing hit rates.
 
 Exit codes: 0 success; 1 domain failure (a verification answered False, a
 perf gate regressed); 2 usage error (unknown name, invalid config).
@@ -29,6 +34,8 @@ Examples::
     python -m repro run connectivity --n 500 --scenario worst_case_storm
     python -m repro bench run --quick --all
     python -m repro bench compare . fresh-artifacts/ --wall-tolerance 1.0
+    python -m repro serve --port 8642 --workers 2
+    python -m repro loadgen --spawn --requests 40 --clients 4 --mix-seed 7
 """
 
 from __future__ import annotations
@@ -327,6 +334,111 @@ def _cmd_scenarios_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import GraphService
+
+    async def _amain() -> int:
+        service = GraphService(
+            workers=args.workers,
+            max_clusters=args.max_clusters,
+            graph_cache_size=args.graph_cache,
+            max_requests=args.max_requests,
+        )
+        host, port = await service.start(args.host, args.port)
+        print(
+            f"repro service listening on {host}:{port} "
+            f"(workers={args.workers}, max_clusters={args.max_clusters})",
+            flush=True,
+        )
+        if args.port_file:
+            # Machine-readable bind address for wrappers that asked for an
+            # ephemeral port (tests, CI smoke): "host port" on one line.
+            with open(args.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{host} {port}\n")
+        try:
+            await service.wait_closed()
+        finally:
+            await service.aclose()
+        print("repro service stopped")
+        return 0
+
+    try:
+        return asyncio.run(_amain())
+    except KeyboardInterrupt:
+        print("\ninterrupted; repro service stopped")
+        return 0
+
+
+def _scenario_list_arg(text: str) -> list[str | None]:
+    """Comma list of scenario names; ``none`` is the benign-gnm entry."""
+    items: list[str | None] = []
+    for part in text.split(","):
+        part = part.strip()
+        if part:
+            items.append(None if part.lower() == "none" else part)
+    return items
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.loadgen import (
+        LoadgenOptions,
+        MixSpec,
+        run_loadgen,
+        run_with_local_service,
+    )
+
+    mix = MixSpec(
+        algorithms=tuple(args.algorithms),
+        scenarios=tuple(args.scenarios),
+        ns=tuple(args.ns),
+        ks=tuple(args.ks),
+        seeds=tuple(args.seeds),
+        epochs=args.epochs,
+        hot_fraction=args.hot_fraction,
+    )
+    options = LoadgenOptions(
+        host=args.host,
+        port=args.port,
+        requests=args.requests,
+        clients=args.clients,
+        mode=args.mode,
+        rate=args.rate,
+        mix=mix,
+        mix_seed=args.mix_seed,
+        timeout=args.timeout,
+        shutdown=args.shutdown,
+    ).validate()
+    try:
+        if args.spawn:
+            result = asyncio.run(
+                run_with_local_service(
+                    options, workers=args.workers, max_clusters=args.max_clusters
+                )
+            )
+        else:
+            result = asyncio.run(run_loadgen(options))
+    except KeyboardInterrupt:
+        print("\ninterrupted; no drive summary")
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"error: cannot drive {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    if args.json:
+        text = json.dumps(result.to_dict(), sort_keys=True, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.json}")
+    return 0 if result.errors == 0 else 1
+
+
 def _cmd_bench_list(_args: argparse.Namespace) -> int:
     from repro.bench import get_benchmark, list_benchmarks
 
@@ -433,6 +545,119 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps_show.add_argument("name", help="scenario name (see 'scenarios list')")
     ps_show.set_defaults(func=_cmd_scenarios_show)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on graph service (asyncio, warm Session pool)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default loopback)")
+    p_serve.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral; default 8642)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="session workers; traffic is key-affine (default 2)"
+    )
+    p_serve.add_argument(
+        "--max-clusters",
+        type=int,
+        default=32,
+        help="per-worker cluster-cache bound (LRU; default 32)",
+    )
+    p_serve.add_argument(
+        "--graph-cache",
+        type=int,
+        default=16,
+        metavar="N",
+        help="per-worker input-graph cache bound (LRU; default 16)",
+    )
+    p_serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after serving N requests (default: serve until shutdown)",
+    )
+    p_serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound 'host port' to PATH once listening "
+        "(for wrappers using --port 0)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive a seeded request mix at a graph service"
+    )
+    target = p_load.add_argument_group("target")
+    target.add_argument("--host", default="127.0.0.1", help="server address")
+    target.add_argument("--port", type=int, default=8642, help="server port")
+    target.add_argument(
+        "--spawn",
+        action="store_true",
+        help="spawn an in-process server on an ephemeral port instead of "
+        "connecting out (self-contained offline mode)",
+    )
+    target.add_argument(
+        "--workers", type=int, default=2, help="workers for --spawn (default 2)"
+    )
+    target.add_argument(
+        "--max-clusters", type=int, default=32, help="cluster-cache bound for --spawn"
+    )
+    drive = p_load.add_argument_group("drive")
+    drive.add_argument("--requests", type=int, default=40, help="mix size (default 40)")
+    drive.add_argument(
+        "--clients", type=int, default=4, help="closed-loop concurrent connections"
+    )
+    drive.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed-loop (next request on completion) or open-loop (fixed "
+        "arrival schedule)",
+    )
+    drive.add_argument(
+        "--rate", type=float, default=50.0, help="open-loop arrivals per second"
+    )
+    drive.add_argument(
+        "--timeout", type=float, default=120.0, help="per-exchange timeout seconds"
+    )
+    drive.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send a shutdown op after the drive (stops the target server)",
+    )
+    mixg = p_load.add_argument_group("mix (deterministic in --mix-seed)")
+    mixg.add_argument("--mix-seed", type=int, default=0, help="mix seed (default 0)")
+    mixg.add_argument(
+        "--algorithms",
+        type=lambda t: [p.strip() for p in t.split(",") if p.strip()],
+        default=["connectivity"],
+        metavar="A,B",
+        help="algorithm population (default connectivity)",
+    )
+    mixg.add_argument(
+        "--scenarios",
+        type=_scenario_list_arg,
+        default=[None],
+        metavar="S,S",
+        help="scenario population; 'none' is benign gnm (default none)",
+    )
+    mixg.add_argument("--ns", type=_int_list, default=[192, 256], help="graph sizes")
+    mixg.add_argument("--ks", type=_int_list, default=[4], help="machine counts")
+    mixg.add_argument("--seeds", type=_int_list, default=[0, 1], help="run seeds")
+    mixg.add_argument(
+        "--epochs", type=int, default=1, help="partition epochs to spread over"
+    )
+    mixg.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.75,
+        help="probability a request revisits an issued cluster key (default 0.75)",
+    )
+    p_load.add_argument(
+        "--json", metavar="PATH", help="write the drive accounting JSON ('-' for stdout)"
+    )
+    p_load.set_defaults(func=_cmd_loadgen)
 
     p_bench = sub.add_parser("bench", help="benchmark subsystem (list/run/compare)")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)

@@ -22,11 +22,25 @@ Parameter sweep (grid over seeds x k x n, optionally multi-core)::
 ``processes > 1`` distributes grid points over a
 :class:`concurrent.futures.ProcessPoolExecutor`; every worker rebuilds its
 cluster from the pickled graph, so results are identical to the sequential
-path (order and content) — only wall time differs.
+path (order and content) — only wall time differs.  The pool is owned by
+the session and reused across sweeps of the same width; ``close()`` (or
+the context-manager form) shuts it down, so long-lived holders — the
+always-on service in :mod:`repro.service`, test fixtures — never leak
+worker processes.
+
+Thread-safety: the cluster cache itself is lock-protected, so concurrent
+``cluster_for`` calls from several threads never corrupt it and a build
+race on one key resolves to a single cached cluster.  *Running* two
+algorithms concurrently on one cached cluster is still undefined (each
+run resets and mutates the cluster's ledger) — callers that share keys
+across threads must serialize runs per key, which is exactly what the
+service's key-affinity worker pool does.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import replace
 from typing import Callable, Iterable
 
@@ -84,8 +98,11 @@ class Session:
         Default :class:`RunConfig`; individual calls may override it.  The
         session never mutates it.
     cache_size:
-        Maximum cached clusters; the oldest entry is evicted beyond this,
-        so long-lived sessions over many graphs stay bounded.
+        Maximum cached clusters (LRU eviction beyond this), so long-lived
+        sessions over many graphs stay bounded.
+    max_clusters:
+        Alias for ``cache_size`` (wins when both are given) — the name the
+        service layer exposes; the default preserves the historical bound.
     """
 
     def __init__(
@@ -94,20 +111,49 @@ class Session:
         *,
         config: RunConfig | None = None,
         cache_size: int = 32,
+        max_clusters: int | None = None,
     ) -> None:
         self.graph = graph
         self.config = (config if config is not None else RunConfig()).validate()
-        self.cache_size = max(1, int(cache_size))
+        self.cache_size = max(1, int(cache_size if max_clusters is None else max_clusters))
         # key -> (graph ref, cluster); the graph ref keeps id(graph) stable.
-        self._clusters: dict[tuple, tuple[Graph, KMachineCluster]] = {}
+        # Ordered most-recently-used last; all access goes through _lock.
+        self._clusters: OrderedDict[tuple, tuple[Graph, KMachineCluster]] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._pool = None
+        self._pool_width = 0
 
     # -- cluster lifecycle -------------------------------------------------
 
-    def cluster_for(self, graph: Graph, cluster_config: ClusterConfig, seed: int) -> KMachineCluster:
-        """The cached cluster for (graph, k, partition seed, bandwidth).
+    @property
+    def max_clusters(self) -> int:
+        """The cluster-cache bound (same value as ``cache_size``)."""
+        return self.cache_size
+
+    def cluster_for(
+        self,
+        graph: Graph,
+        cluster_config: ClusterConfig,
+        seed: int,
+        *,
+        epoch: int = 0,
+    ) -> KMachineCluster:
+        """The cached cluster for (graph, k, partition seed, bandwidth, epoch).
 
         The returned cluster's ledger is reset, so each run reports only its
-        own cost while reusing the partition and incidence arrays.
+        own cost while reusing the partition and incidence arrays.  ``epoch``
+        selects the partition epoch (DESIGN.md §8): epoch 0 is the historical
+        placement, epoch e > 0 an independently re-hashed one — each epoch is
+        its own cache entry, which is how the service models cache refreshes.
+
+        Thread-safe: concurrent calls never corrupt the cache, and a build
+        race on one key keeps exactly one cluster (first insert wins).  The
+        losing builder still counts a miss — it did pay for a build — so
+        hit/miss counts are only deterministic when same-key calls are
+        serialized, as in the service's key-affinity workers.
         """
         partition_seed = (
             cluster_config.partition_seed if cluster_config.partition_seed is not None else seed
@@ -119,30 +165,97 @@ class Session:
             cluster_config.bandwidth_multiplier,
             cluster_config.bandwidth_bits,
             cluster_config.partition,
+            int(epoch),
         )
-        hit = self._clusters.get(key)
-        if hit is None or hit[0] is not graph:
-            cluster = KMachineCluster.create(
-                graph,
-                cluster_config.k,
-                partition_seed,
-                bandwidth_multiplier=cluster_config.bandwidth_multiplier,
-                partition=build_partition(
-                    graph, cluster_config.k, partition_seed, cluster_config.partition
-                ),
-                topology=_topology(graph, cluster_config),
-            )
+        with self._lock:
+            hit = self._clusters.get(key)
+            if hit is not None and hit[0] is graph:
+                self._hits += 1
+                self._clusters.move_to_end(key)
+                cluster = hit[1]
+                cluster.reset_ledger()
+                return cluster
+        # Build outside the lock so distinct keys can build concurrently.
+        cluster = KMachineCluster.create(
+            graph,
+            cluster_config.k,
+            partition_seed,
+            bandwidth_multiplier=cluster_config.bandwidth_multiplier,
+            partition=build_partition(
+                graph, cluster_config.k, partition_seed, cluster_config.partition, epoch=epoch
+            ),
+            topology=_topology(graph, cluster_config),
+        )
+        with self._lock:
+            self._misses += 1
+            current = self._clusters.get(key)
+            if current is not None and current[0] is graph:
+                # Another thread finished the same build first; use its copy.
+                self._clusters.move_to_end(key)
+                cluster = current[1]
+                cluster.reset_ledger()
+                return cluster
             self._clusters[key] = (graph, cluster)
             while len(self._clusters) > self.cache_size:
-                self._clusters.pop(next(iter(self._clusters)))
-        else:
-            cluster = hit[1]
-            cluster.reset_ledger()
+                self._clusters.popitem(last=False)
+                self._evictions += 1
         return cluster
+
+    def cache_info(self) -> dict:
+        """Cluster-cache counters: hits / misses / evictions / size / bound."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._clusters),
+                "max_clusters": self.cache_size,
+            }
 
     def clear_cache(self) -> None:
         """Drop all cached clusters (e.g. after discarding their graphs)."""
-        self._clusters.clear()
+        with self._lock:
+            self._clusters.clear()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release held resources: the cluster cache and any process pool.
+
+        Idempotent, and the session stays usable afterwards (caches and
+        pools are re-created on demand) — ``close()`` is a release point,
+        not a tombstone, so a service can recycle a worker's session
+        without tearing down the worker itself.
+        """
+        self.clear_cache()
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._pool_width = 0
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _pool_for(self, processes: int):
+        """The session-owned process pool at ``processes`` workers.
+
+        Reused across sweeps of the same width; a different width replaces
+        it (graceful shutdown of the old pool first).
+        """
+        import concurrent.futures
+
+        with self._lock:
+            if self._pool is not None and self._pool_width != processes:
+                old, self._pool = self._pool, None
+                old.shutdown(wait=True, cancel_futures=True)
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=processes)
+                self._pool_width = processes
+            return self._pool
 
     # -- running -----------------------------------------------------------
 
@@ -171,12 +284,16 @@ class Session:
         seed: int | None = None,
         scenario=None,
         n: int | None = None,
+        epoch: int = 0,
     ) -> RunReport:
         """Run one registered algorithm and return its :class:`RunReport`.
 
         Seed precedence: ``seed`` here > ``config.seed`` > the default —
         the resolved value seeds both the partition (unless
         ``ClusterConfig.partition_seed`` pins it) and the algorithm.
+        ``epoch`` pins the partition epoch of the cluster (see
+        :meth:`cluster_for`); graph-only algorithms reject a nonzero epoch
+        — they build their own machines, so it would be a silent no-op.
 
         ``scenario`` (a registered name or :class:`~repro.scenarios.registry.Scenario`)
         overlays its partition scheme and fault plan onto the config.
@@ -207,9 +324,13 @@ class Session:
         resolved = resolve_seed(seed, cfg.seed)
         spec = get_algorithm(algorithm)
         if spec.graph_only:
+            if epoch != 0:
+                raise ValueError(
+                    f"algorithm {algorithm!r} builds its own machines; epoch= does not apply"
+                )
             # The algorithm builds its own machines; no cluster to cache.
             return spec.run(GraphContext(graph=g, k=cfg.cluster.k), cfg, seed=resolved)
-        cluster = self.cluster_for(g, cfg.cluster, resolved)
+        cluster = self.cluster_for(g, cfg.cluster, resolved, epoch=epoch)
         return spec.run(cluster, cfg, seed=resolved)
 
     def sweep(
@@ -279,11 +400,19 @@ class Session:
                     jobs.append((g, cfg, s))
 
         if processes is not None and processes > 1:
-            import concurrent.futures
-
             payloads = [(g, algorithm, cfg.to_dict(), s) for g, cfg, s in jobs]
-            with concurrent.futures.ProcessPoolExecutor(max_workers=processes) as pool:
+            pool = self._pool_for(processes)
+            try:
                 return list(pool.map(_sweep_worker, payloads))
+            except (KeyboardInterrupt, SystemExit):
+                # Don't leave orphaned workers grinding through the rest of
+                # the grid after a Ctrl-C: cancel what hasn't started and
+                # tear the pool down before propagating.
+                with self._lock:
+                    self._pool = None
+                    self._pool_width = 0
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
 
         # Factory-built graphs are throwaways: run them cache-less so the
         # session does not pin one cluster per grid point forever.

@@ -1,0 +1,365 @@
+"""Load generator for the graph service: seeded mixes, measured traffic.
+
+The generator turns "heavy traffic" into a *measured axis* with the same
+determinism split the rest of the repository uses (DESIGN.md §10):
+
+* :func:`build_mix` draws a deterministic request mix from a seed — a
+  hot-key process over the scenario registry and graph families, so a
+  mix has repeated cluster keys (the coalescible traffic a long-lived
+  service exists to serve) in a proportion set by ``hot_fraction``;
+* :func:`run_loadgen` drives the mix at a server in **closed-loop**
+  (``clients`` concurrent connections, each sending its next request as
+  the previous completes — the latency-measuring mode) or **open-loop**
+  (requests fired on a fixed arrival schedule of ``rate``/s regardless
+  of completions — the overload-probing mode) arrival;
+* :class:`LoadgenResult` separates what is a pure function of the mix —
+  request/report counts, per-algorithm breakdown, coalesce hits, model
+  rounds/bits, the SHA-256 over every served envelope — from the
+  advisory wall-clock facts (throughput, latency percentiles).
+  ``deterministic_metrics()`` is exactly the subset ``BENCH_service_*``
+  perf-gates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.service.protocol import ProtocolError, RunRequest, read_frame, write_frame
+
+__all__ = [
+    "LoadgenOptions",
+    "LoadgenResult",
+    "MixSpec",
+    "build_mix",
+    "run_loadgen",
+    "run_with_local_service",
+]
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """The population a request mix is drawn from.
+
+    ``scenarios`` entries are registered scenario names or ``None`` (plain
+    benign ``gnm``); ``epochs`` > 1 spreads requests over partition epochs
+    (distinct cluster builds of one graph); ``hot_fraction`` is the
+    probability a request revisits an already-issued cluster key instead
+    of drawing a fresh one — the knob that sets the coalescible share.
+    """
+
+    algorithms: tuple[str, ...] = ("connectivity",)
+    scenarios: tuple[str | None, ...] = (None,)
+    ns: tuple[int, ...] = (192, 256)
+    ks: tuple[int, ...] = (4,)
+    seeds: tuple[int, ...] = (0, 1)
+    epochs: int = 1
+    hot_fraction: float = 0.75
+
+    def validate(self) -> "MixSpec":
+        if not self.algorithms:
+            raise ValueError("mix needs at least one algorithm")
+        if not self.scenarios or not self.ns or not self.ks or not self.seeds:
+            raise ValueError("mix populations must be non-empty")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {self.hot_fraction}")
+        return self
+
+
+def build_mix(requests: int, mix_seed: int, spec: MixSpec | None = None) -> list[RunRequest]:
+    """A deterministic request mix: same (requests, seed, spec) -> same list.
+
+    A hot-key process: each request either revisits a uniformly chosen
+    previously-issued cluster-key combo (probability ``hot_fraction``) or
+    draws a fresh one from the spec's populations; the algorithm is drawn
+    independently either way, so one hot cluster key serves several
+    algorithms — the coalescing case the service is built around.
+    """
+    spec = (spec if spec is not None else MixSpec()).validate()
+    rng = random.Random(int(mix_seed))
+    issued: list[tuple] = []
+    mix: list[RunRequest] = []
+    for _ in range(int(requests)):
+        if issued and rng.random() < spec.hot_fraction:
+            scenario, n, seed, k, epoch = issued[rng.randrange(len(issued))]
+        else:
+            scenario = spec.scenarios[rng.randrange(len(spec.scenarios))]
+            n = spec.ns[rng.randrange(len(spec.ns))]
+            seed = spec.seeds[rng.randrange(len(spec.seeds))]
+            k = spec.ks[rng.randrange(len(spec.ks))]
+            epoch = rng.randrange(spec.epochs)
+            issued.append((scenario, n, seed, k, epoch))
+        algorithm = spec.algorithms[rng.randrange(len(spec.algorithms))]
+        mix.append(
+            RunRequest(
+                algorithm=algorithm, scenario=scenario, n=n, seed=seed, k=k, epoch=epoch
+            ).validate()
+        )
+    return mix
+
+
+@dataclass(frozen=True)
+class LoadgenOptions:
+    """One load-generation drive (see module docstring for the modes)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    requests: int = 40
+    clients: int = 4
+    mode: str = "closed"
+    rate: float = 50.0
+    mix: MixSpec = field(default_factory=MixSpec)
+    mix_seed: int = 0
+    timeout: float = 120.0
+    shutdown: bool = False
+
+    def validate(self) -> "LoadgenOptions":
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError(f"open-loop rate must be > 0, got {self.rate}")
+        self.mix.validate()
+        return self
+
+
+@dataclass
+class LoadgenResult:
+    """Outcome of one drive: deterministic accounting + advisory timing."""
+
+    requests: int
+    ok: int
+    errors: int
+    distinct_keys: int
+    repeat_requests: int
+    by_algorithm: dict[str, int]
+    total_rounds: int
+    total_bits: int
+    envelope_sha256: str
+    coalesce_hits: int
+    cluster_builds: int
+    cluster_evictions: int
+    graph_hits: int
+    graph_misses: int
+    inflight_coalesced: int
+    wall_s: float
+    throughput_rps: float
+    latency_s: dict[str, float]
+
+    def deterministic_metrics(self) -> dict[str, Any]:
+        """The perf-gateable subset: pure functions of the seeded mix
+        (given key-affinity dispatch and an eviction-free cache)."""
+        return {
+            "requests": self.requests,
+            "reports_served": self.ok,
+            "errors": self.errors,
+            "distinct_keys": self.distinct_keys,
+            "repeat_requests": self.repeat_requests,
+            "coalesce_hits": self.coalesce_hits,
+            "cluster_builds": self.cluster_builds,
+            "cluster_evictions": self.cluster_evictions,
+            "graph_hits": self.graph_hits,
+            "graph_misses": self.graph_misses,
+            "total_rounds": self.total_rounds,
+            "total_bits": self.total_bits,
+            "envelope_sha256": self.envelope_sha256,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            **self.deterministic_metrics(),
+            "by_algorithm": dict(sorted(self.by_algorithm.items())),
+            "inflight_coalesced": self.inflight_coalesced,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_s": dict(self.latency_s),
+        }
+
+    def summary(self) -> str:
+        """Human-readable drive summary (CLI output)."""
+        hit_rate = self.coalesce_hits / max(1, self.coalesce_hits + self.cluster_builds)
+        lat = self.latency_s
+        return "\n".join(
+            [
+                f"requests: {self.ok}/{self.requests} ok, {self.errors} errors, "
+                f"{self.distinct_keys} distinct cluster keys",
+                f"coalescing: {self.coalesce_hits} hits / {self.cluster_builds} builds "
+                f"(hit rate {hit_rate:.2f}), {self.inflight_coalesced} joined in flight, "
+                f"{self.cluster_evictions} evictions",
+                f"model cost: {self.total_rounds} rounds, {self.total_bits} bits "
+                f"across the mix",
+                f"wall: {self.wall_s:.3f}s ({self.throughput_rps:.1f} req/s); latency "
+                f"mean={lat.get('mean', 0.0):.4f}s p50={lat.get('p50', 0.0):.4f}s "
+                f"p90={lat.get('p90', 0.0):.4f}s p99={lat.get('p99', 0.0):.4f}s "
+                f"max={lat.get('max', 0.0):.4f}s",
+                f"envelopes sha256: {self.envelope_sha256[:16]}…",
+            ]
+        )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 for an empty one)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+async def _exchange(reader, writer, payload: dict, timeout: float) -> list[dict]:
+    """Send one request frame; collect response frames through the final one."""
+    await asyncio.wait_for(write_frame(writer, payload), timeout)
+    frames: list[dict] = []
+    while True:
+        frame = await asyncio.wait_for(read_frame(reader), timeout)
+        if frame is None:
+            raise ProtocolError("connection closed mid-response")
+        frames.append(frame)
+        if frame.get("final"):
+            return frames
+
+
+async def run_loadgen(options: LoadgenOptions) -> LoadgenResult:
+    """Drive a seeded mix at a running server; return the accounting."""
+    opts = options.validate()
+    mix = build_mix(opts.requests, opts.mix_seed, opts.mix)
+    reports: list[dict | None] = [None] * len(mix)
+    failures: list[str | None] = [None] * len(mix)
+    latencies: list[float] = [0.0] * len(mix)
+
+    async def _one(idx: int, reader, writer) -> None:
+        t0 = time.perf_counter()
+        frames = await _exchange(
+            reader, writer, {"op": "run", "id": idx, "request": mix[idx].to_dict()},
+            opts.timeout,
+        )
+        latencies[idx] = time.perf_counter() - t0
+        final = frames[-1]
+        if final.get("ok"):
+            reports[idx] = final["report"]
+        else:
+            failures[idx] = final.get("error", {}).get("message", "unknown error")
+
+    t_start = time.perf_counter()
+    if opts.mode == "closed":
+        clients = min(opts.clients, len(mix))
+
+        async def _client(c: int) -> None:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(opts.host, opts.port), opts.timeout
+            )
+            try:
+                for idx in range(c, len(mix), clients):
+                    await _one(idx, reader, writer)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        await asyncio.gather(*(_client(c) for c in range(clients)))
+    else:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        gate = asyncio.Semaphore(256)
+
+        async def _arrival(idx: int) -> None:
+            delay = start + idx / opts.rate - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            async with gate:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(opts.host, opts.port), opts.timeout
+                )
+                try:
+                    await _one(idx, reader, writer)
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+        await asyncio.gather(*(_arrival(i) for i in range(len(mix))))
+    wall = time.perf_counter() - t_start
+
+    # Server-side cache accounting (and optional shutdown) out of band.
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(opts.host, opts.port), opts.timeout
+    )
+    try:
+        stats = (await _exchange(reader, writer, {"op": "stats"}, opts.timeout))[-1]["stats"]
+        if opts.shutdown:
+            await _exchange(reader, writer, {"op": "shutdown"}, opts.timeout)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+    ok = sum(1 for r in reports if r is not None)
+    digest = hashlib.sha256()
+    for report in reports:
+        if report is not None:
+            digest.update(json.dumps(report, sort_keys=True, separators=(",", ":")).encode())
+        digest.update(b"\n")
+    by_algorithm: dict[str, int] = {}
+    for req in mix:
+        by_algorithm[req.algorithm] = by_algorithm.get(req.algorithm, 0) + 1
+    keys = {req.cluster_key() for req in mix}
+    lat_sorted = sorted(latencies[i] for i in range(len(mix)) if reports[i] is not None)
+    clusters = stats["clusters"]
+    graphs = stats["graphs"]
+    return LoadgenResult(
+        requests=len(mix),
+        ok=ok,
+        errors=len(mix) - ok,
+        distinct_keys=len(keys),
+        repeat_requests=len(mix) - len(keys),
+        by_algorithm=by_algorithm,
+        total_rounds=sum(int(r["ledger"]["rounds"]) for r in reports if r is not None),
+        total_bits=sum(int(r["ledger"]["total_bits"]) for r in reports if r is not None),
+        envelope_sha256=digest.hexdigest(),
+        coalesce_hits=int(clusters["hits"]),
+        cluster_builds=int(clusters["misses"]),
+        cluster_evictions=int(clusters["evictions"]),
+        graph_hits=int(graphs["hits"]),
+        graph_misses=int(graphs["misses"]),
+        inflight_coalesced=int(stats["requests"]["inflight_coalesced"]),
+        wall_s=wall,
+        throughput_rps=len(mix) / wall if wall > 0 else 0.0,
+        latency_s={
+            "mean": sum(lat_sorted) / len(lat_sorted) if lat_sorted else 0.0,
+            "p50": _percentile(lat_sorted, 0.50),
+            "p90": _percentile(lat_sorted, 0.90),
+            "p99": _percentile(lat_sorted, 0.99),
+            "max": lat_sorted[-1] if lat_sorted else 0.0,
+        },
+    )
+
+
+async def run_with_local_service(
+    options: LoadgenOptions,
+    *,
+    workers: int = 2,
+    max_clusters: int = 32,
+    graph_cache_size: int = 16,
+) -> LoadgenResult:
+    """Spawn an in-process server, drive the mix at it, tear it down.
+
+    The self-contained offline form the benchmarks, tests and
+    ``repro loadgen --spawn`` share: everything happens on one event loop
+    over loopback, no external process management.
+    """
+    from repro.service.server import GraphService
+
+    service = GraphService(
+        workers=workers, max_clusters=max_clusters, graph_cache_size=graph_cache_size
+    )
+    host, port = await service.start("127.0.0.1", 0)
+    try:
+        return await run_loadgen(replace(options, host=host, port=port))
+    finally:
+        await service.aclose()

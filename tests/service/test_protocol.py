@@ -1,0 +1,164 @@
+"""Wire protocol: framing, request validation, and the coalescing keys."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.graphs import generators
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    RunRequest,
+    encode_frame,
+    read_frame,
+)
+from repro.util.rng import derive_seed
+
+
+def _read(data: bytes):
+    """Feed raw bytes to a StreamReader and read one frame from it."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def test_frame_roundtrip():
+    payload = {"op": "run", "id": 3, "request": RunRequest().to_dict()}
+    assert _read(encode_frame(payload)) == payload
+
+
+def test_frames_are_canonical_json():
+    a = encode_frame({"b": 1, "a": 2})
+    b = encode_frame({"a": 2, "b": 1})
+    assert a == b  # sorted keys, compact separators
+
+
+def test_clean_eof_returns_none():
+    assert _read(b"") is None
+
+
+def test_truncated_header_raises():
+    with pytest.raises(ProtocolError, match="header"):
+        _read(b"\x00\x00")
+
+
+def test_truncated_body_raises():
+    frame = encode_frame({"op": "ping"})
+    with pytest.raises(ProtocolError, match="body"):
+        _read(frame[:-2])
+
+
+def test_oversize_length_rejected_before_allocation():
+    with pytest.raises(ProtocolError, match="exceeds"):
+        _read(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+
+def test_invalid_json_raises():
+    bad = b"{nope"
+    with pytest.raises(ProtocolError, match="JSON"):
+        _read(struct.pack(">I", len(bad)) + bad)
+
+
+def test_non_object_payload_raises():
+    bad = json.dumps([1, 2]).encode()
+    with pytest.raises(ProtocolError, match="object"):
+        _read(struct.pack(">I", len(bad)) + bad)
+
+
+# -- RunRequest -------------------------------------------------------------
+
+
+def test_request_dict_roundtrip():
+    req = RunRequest(algorithm="mst", n=128, seed=3, k=8, scheme="powerlaw", epoch=2)
+    assert RunRequest.from_dict(req.to_dict()) == req
+
+
+def test_request_from_dict_coerces_ints():
+    req = RunRequest.from_dict({"n": "128", "k": "8", "seed": "1", "epoch": "0"})
+    assert (req.n, req.k, req.seed) == (128, 8, 1)
+
+
+def test_request_rejects_unknown_fields():
+    with pytest.raises(ProtocolError, match="unknown"):
+        RunRequest.from_dict({"n": 64, "bogus": 1})
+
+
+@pytest.mark.parametrize(
+    "fields",
+    [
+        {"n": 2},
+        {"k": 1},
+        {"scheme": "nope"},
+        {"epoch": -1},
+        {"family": "petersen"},
+        {"algorithm": ""},
+    ],
+)
+def test_request_validation_rejects(fields):
+    with pytest.raises(ProtocolError):
+        RunRequest(**fields).validate()
+
+
+def test_cluster_key_axes():
+    base = RunRequest(n=64)
+    assert base.cluster_key() == RunRequest(n=64).cluster_key()
+    for other in (
+        RunRequest(n=96),
+        RunRequest(n=64, k=8),
+        RunRequest(n=64, seed=1),
+        RunRequest(n=64, scheme="powerlaw"),
+        RunRequest(n=64, epoch=1),
+        RunRequest(n=64, scenario="lollipop"),
+    ):
+        assert other.cluster_key() != base.cluster_key()
+    # The algorithm is NOT part of the key: different algorithms on the
+    # same input share one cluster build — the coalescing the service sells.
+    assert RunRequest(n=64, algorithm="mst").cluster_key() == base.cluster_key()
+
+
+def test_family_precedence_matches_cli():
+    assert RunRequest(family="path", scenario="lollipop").family_label() == "path"
+    assert RunRequest(scenario="lollipop").family_label() == "scenario:lollipop"
+    assert RunRequest().family_label() == "gnm"
+
+
+def test_weight_requiring_algorithm_forces_weighted_key():
+    # mst needs weights even when the request says weighted=False, so its
+    # graph key must not collide with a genuinely unweighted build.
+    mst = RunRequest(algorithm="mst", weighted=False)
+    conn = RunRequest(algorithm="connectivity", weighted=False)
+    assert mst.effective_weighted() is True
+    assert conn.effective_weighted() is False
+    assert mst.graph_key() != conn.graph_key()
+
+
+def test_build_graph_matches_generator_derivation():
+    req = RunRequest(n=64, seed=5, weighted=False, algorithm="connectivity")
+    expected = generators.gnm_random(64, 192, seed=derive_seed(5, 0x5CE0))
+    got = req.build_graph()
+    assert got.n == expected.n
+    assert (got.edges_u == expected.edges_u).all()
+    assert (got.edges_v == expected.edges_v).all()
+
+
+def test_build_graph_scenario_path_matches_scenario():
+    from repro.scenarios.registry import get_scenario
+
+    req = RunRequest(scenario="lollipop", n=64, seed=2)
+    expected = get_scenario("lollipop").make_graph(64, 2)
+    got = req.build_graph()
+    assert got.n == expected.n
+    assert (got.edges_u == expected.edges_u).all()
+    assert (got.edges_v == expected.edges_v).all()

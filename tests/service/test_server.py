@@ -1,0 +1,216 @@
+"""GraphService: byte-identity, coalescing, streaming, errors, shutdown.
+
+All tests drive a real server over loopback inside one ``asyncio.run``:
+the full wire path, not a shortcut through internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from repro.runtime.session import Session
+from repro.service.protocol import RunRequest, read_frame, write_frame
+from repro.service.server import GraphService
+
+
+async def _exchange(host, port, *payloads):
+    """Open one connection, send each payload, collect its frame stream."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        all_frames = []
+        for payload in payloads:
+            await write_frame(writer, payload)
+            frames = []
+            while True:
+                frame = await read_frame(reader)
+                assert frame is not None, "server closed mid-response"
+                frames.append(frame)
+                if frame.get("final"):
+                    break
+            all_frames.append(frames)
+        return all_frames
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+def _serve(coro_fn, **service_kwargs):
+    """Start a service, run ``coro_fn(service, host, port)``, tear down."""
+
+    async def go():
+        service = GraphService(**service_kwargs)
+        host, port = await service.start("127.0.0.1", 0)
+        try:
+            return await coro_fn(service, host, port)
+        finally:
+            await service.aclose()
+
+    return asyncio.run(go())
+
+
+def _direct_envelope(req: RunRequest) -> dict:
+    """What an uncoalesced local Session produces for the same request."""
+    with Session() as session:
+        report = session.run(
+            req.algorithm, req.build_graph(), config=req.run_config(), epoch=req.epoch
+        )
+    return report.to_dict(include_timing=False)
+
+
+def test_served_run_matches_local_session_bytes():
+    req = RunRequest(algorithm="connectivity", n=64, seed=3, k=4)
+
+    async def drive(service, host, port):
+        (frames,) = await _exchange(
+            host, port, {"op": "run", "id": 1, "request": req.to_dict()}
+        )
+        return frames[-1]
+
+    frame = _serve(drive)
+    assert frame["ok"] and frame["final"] and frame["id"] == 1
+    assert frame["report"] == _direct_envelope(req)
+    assert frame["service"]["coalesced"] is False
+
+
+def test_scenario_run_matches_local_session_bytes():
+    req = RunRequest(algorithm="connectivity", scenario="lollipop", n=64, seed=2, k=4)
+
+    async def drive(service, host, port):
+        (frames,) = await _exchange(
+            host, port, {"op": "run", "request": req.to_dict()}
+        )
+        return frames[-1]
+
+    frame = _serve(drive)
+    assert frame["report"] == _direct_envelope(req)
+    assert frame["report"]["config"]["cluster"]["partition"]["scheme"] is not None
+
+
+def test_coalesced_repeat_is_byte_identical():
+    req = {"op": "run", "request": RunRequest(n=64, seed=1).to_dict()}
+
+    async def drive(service, host, port):
+        first, second = await _exchange(host, port, req, req)
+        return first[-1], second[-1], service.stats()
+
+    a, b, stats = _serve(drive)
+    assert a["service"]["coalesced"] is False
+    assert b["service"]["coalesced"] is True
+    assert a["report"] == b["report"]  # the cached cluster changes nothing
+    assert stats["clusters"]["hits"] == 1
+    assert stats["clusters"]["misses"] == 1
+    assert stats["graphs"]["hits"] == 1
+
+
+def test_sweep_streams_every_grid_point():
+    request = RunRequest(n=64, seed=0, k=2).to_dict()
+
+    async def drive(service, host, port):
+        (frames,) = await _exchange(
+            host,
+            port,
+            {"op": "sweep", "id": 9, "request": request, "ks": [2, 3], "seeds": [0, 1]},
+        )
+        return frames
+
+    frames = _serve(drive)
+    assert len(frames) == 5  # 4 grid points + summary
+    assert all(not f["final"] for f in frames[:-1])
+    assert frames[-1] == {"ok": True, "final": True, "op": "sweep", "id": 9, "count": 4}
+    grid = [(f["report"]["config"]["cluster"]["k"], f["report"]["seed"]) for f in frames[:-1]]
+    assert grid == [(2, 0), (2, 1), (3, 0), (3, 1)]  # k-major, like Session.sweep
+
+
+def test_bad_request_answers_error_and_keeps_connection():
+    async def drive(service, host, port):
+        return await _exchange(
+            host,
+            port,
+            {"op": "run", "id": 1, "request": {"n": 2}},
+            {"op": "run", "id": 2, "request": {"algorithm": "nope", "n": 64}},
+            {"op": "nosuchop", "id": 3},
+            {"op": "ping", "id": 4},
+        )
+
+    bad_n, bad_algo, bad_op, ping = _serve(drive)
+    assert bad_n[-1]["ok"] is False and bad_n[-1]["id"] == 1
+    assert "n must be" in bad_n[-1]["error"]["message"]
+    assert bad_algo[-1]["ok"] is False and bad_algo[-1]["error"]["type"] == "KeyError"
+    assert bad_op[-1]["ok"] is False and "unknown op" in bad_op[-1]["error"]["message"]
+    assert ping[-1]["ok"] is True  # three failures later, the link still works
+
+
+def test_wire_corruption_drops_connection_with_error_frame():
+    async def drive(service, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(struct.pack(">I", 2**31))  # absurd length prefix
+            await writer.drain()
+            frame = await read_frame(reader)
+            assert frame is not None and frame["ok"] is False
+            assert frame["op"] == "protocol"
+            assert await reader.read() == b""  # server hung up
+        finally:
+            writer.close()
+            await writer.wait_closed()
+        # A fresh connection is unaffected.
+        (frames,) = await _exchange(host, port, {"op": "ping"})
+        return frames[-1]
+
+    assert _serve(drive)["ok"] is True
+
+
+def test_introspection_ops():
+    async def drive(service, host, port):
+        (sc,) = await _exchange(host, port, {"op": "scenarios"})
+        (bench,) = await _exchange(host, port, {"op": "bench_info"})
+        (stats,) = await _exchange(host, port, {"op": "stats"})
+        return sc[-1], bench[-1], stats[-1]
+
+    sc, bench, stats = _serve(drive)
+    names = {s["name"] for s in sc["scenarios"]}
+    assert "lollipop" in names and "faulty_links" in names
+    bench_names = {b["name"] for b in bench["benchmarks"]}
+    assert {"service_throughput", "service_latency"} <= bench_names
+    assert stats["stats"]["workers"] == 2
+    assert stats["stats"]["requests"]["by_op"]["scenarios"] == 1
+
+
+def test_shutdown_op_releases_wait_closed():
+    async def go():
+        service = GraphService(workers=1)
+        host, port = await service.start("127.0.0.1", 0)
+        try:
+            (frames,) = await _exchange(host, port, {"op": "shutdown"})
+            assert frames[-1]["ok"] is True
+            await asyncio.wait_for(service.wait_closed(), timeout=5)
+        finally:
+            await service.aclose()
+
+    asyncio.run(go())
+
+
+def test_max_requests_self_terminates():
+    async def go():
+        service = GraphService(workers=1, max_requests=2)
+        host, port = await service.start("127.0.0.1", 0)
+        try:
+            await _exchange(host, port, {"op": "ping"}, {"op": "ping"})
+            await asyncio.wait_for(service.wait_closed(), timeout=5)
+        finally:
+            await service.aclose()
+
+    asyncio.run(go())
+
+
+def test_key_affinity_is_stable():
+    service = GraphService(workers=4)
+    key = RunRequest(n=64).cluster_key()
+    picks = {service._worker_for(key).index for _ in range(10)}
+    assert len(picks) == 1  # same key, same worker, every time
+
+    async def go():
+        await service.aclose()
+
+    asyncio.run(go())
