@@ -1,0 +1,58 @@
+"""EXP D1 — dynamic MST: amortized update cost vs recompute (DESIGN.md §11).
+
+Thin wrapper over the registered ``dynamic_update_cost`` grid (see
+``repro.bench.suites.dynamic``).  The qualitative claims asserted here:
+
+* every cell stays *correct* — the maintained forest matches a fresh
+  Theorem-2 recompute on the final edge set (weight and components);
+* amortized per-batch update rounds are strictly below the
+  recompute-from-scratch rounds, on every family and batch kind — the
+  reason a maintained structure exists;
+* updates are genuinely applied (no cell degenerates to an empty stream).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import report, run_registered
+from repro.analysis import format_table
+
+
+def test_dynamic_update_cost(benchmark):
+    result = run_registered(benchmark, "dynamic_update_cost")
+    rows = [
+        (
+            c.params["family"],
+            c.params["plan"],
+            c.metrics["build_rounds"],
+            c.metrics["update_rounds"],
+            c.metrics["amortized_update_rounds"],
+            c.metrics["recompute_rounds"],
+            c.metrics["updates_applied"],
+            c.metrics["correct"],
+        )
+        for c in result.cells
+    ]
+    n = result.cells[0].params["n"]
+    k = result.cells[0].params["k"]
+    table = format_table(
+        [
+            "family",
+            "plan",
+            "build rounds",
+            "update rounds",
+            "amortized/batch",
+            "recompute rounds",
+            "applied",
+            "correct",
+        ],
+        rows,
+        title=f"D1 - dynamic MST batch updates vs recompute (n={n}, k={k})",
+    )
+    report("D1_dynamic_update_cost", table)
+    assert all(r[7] for r in rows), "a maintained forest diverged from recompute"
+    assert all(r[6] > 0 for r in rows), "a cell applied no updates"
+    for r in rows:
+        assert r[4] < r[5], (
+            f"amortized update rounds not below recompute on {r[0]}/{r[1]}: "
+            f"{r[4]} vs {r[5]}"
+        )

@@ -329,6 +329,8 @@ def _cmd_scenarios_list(_args: argparse.Namespace) -> int:
             axes.append("faults")
         if sc.churn is not None:
             axes.append("churn")
+        if sc.updates is not None:
+            axes.append("updates")
         tag = ",".join(axes) or "benign"
         print(f"{name:<{width}}  {tag:<32}  {sc.summary}")
     return 0

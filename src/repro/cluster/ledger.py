@@ -271,6 +271,12 @@ class RoundLedger:
     def breakdown(self, steps: list[StepRecord] | None = None) -> dict[str, int]:
         """Rounds aggregated by step-label prefix (text before first ':').
 
+        Step families follow the ``<family>:<detail>`` label convention:
+        e.g. ``epoch:migrate:<kind>`` (churn migrations) groups under
+        ``epoch``, and ``update:batch:<i>`` (dynamic edge-update batches,
+        DESIGN.md §11) groups under ``update`` — so amortized update rounds
+        are directly readable off a report's ledger breakdown.
+
         ``steps`` restricts the aggregation to a slice (used by
         :meth:`totals`); default is every recorded step.
         """

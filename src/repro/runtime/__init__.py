@@ -39,6 +39,7 @@ from repro.runtime.config import (
     PartitionConfig,
     RunConfig,
     SketchConfig,
+    UpdatePlan,
     resolve_seed,
 )
 from repro.runtime.registry import (
@@ -65,6 +66,7 @@ __all__ = [
     "RunnerOutput",
     "Session",
     "SketchConfig",
+    "UpdatePlan",
     "get_algorithm",
     "list_algorithms",
     "register_algorithm",

@@ -8,7 +8,7 @@ only translate configuration and flatten results into the envelope schema.
 
 Registered names::
 
-    paper:    connectivity, mst, mincut, verify
+    paper:    connectivity, mst, mst_dynamic, mincut, verify
     baseline: flooding, boruvka_nosketch, referee, rep
 
 This module is imported lazily by the registry (first call to
@@ -29,6 +29,7 @@ from repro.baselines.referee import referee_connectivity
 from repro.baselines.rep import rep_connectivity, rep_mst
 from repro.core import verify as verify_mod
 from repro.core.connectivity import connected_components_distributed
+from repro.core.dynamic import dynamic_msf_updates
 from repro.core.labels import canonical_labels
 from repro.core.mincut import mincut_approx_distributed
 from repro.core.mst import minimum_spanning_tree_distributed
@@ -98,6 +99,44 @@ def _run_mst(cluster, config: RunConfig, seed: int) -> RunnerOutput:
             "owner_machine": res.owner_machine,
         },
         phase_stats=[asdict(s) for s in res.phase_stats],
+    )
+
+
+@register_algorithm(
+    "mst_dynamic",
+    summary="Dynamic MST: Theorem-2 build, then batched edge updates in O(1)-ish "
+    "rounds per batch against the maintained forest (config.updates)",
+    kind="paper",
+    requires_weights=True,
+    supports_updates=True,
+)
+def _run_mst_dynamic(cluster, config: RunConfig, seed: int) -> RunnerOutput:
+    res = dynamic_msf_updates(
+        cluster,
+        seed,
+        config.updates,
+        **_sketch_kwargs(config),
+    )
+    return RunnerOutput(
+        result={
+            "n_components": res.n_components,
+            "n_edges": res.n_edges,
+            "total_weight": res.total_weight,
+            "final_m": res.final_m,
+            "labels": canonical_labels(res.labels),
+            "forest_u": res.forest_u,
+            "forest_v": res.forest_v,
+            "forest_weights": res.forest_weights,
+            "build_rounds": res.build_rounds,
+            "update_rounds": res.update_rounds,
+            "update_bits": res.update_bits,
+            "batches_applied": len(res.batch_stats),
+            "updates_applied": res.updates_applied,
+            "initial_certified": res.initial.certified,
+            "initial_converged": res.initial.converged,
+            "initial_total_weight": res.initial.total_weight,
+        },
+        phase_stats=[asdict(s) for s in res.initial.phase_stats] + res.batch_stats,
     )
 
 

@@ -34,6 +34,7 @@ from typing import Any, Mapping
 from repro.cluster.partition import PartitionConfig
 from repro.scenarios.churn import ChurnPlan
 from repro.scenarios.faults import FaultPlan
+from repro.scenarios.updates import UpdatePlan
 
 __all__ = [
     "DEFAULT_SEED",
@@ -43,6 +44,7 @@ __all__ = [
     "PartitionConfig",
     "RunConfig",
     "SketchConfig",
+    "UpdatePlan",
     "resolve_seed",
     "resolve_sketch",
 ]
@@ -199,6 +201,13 @@ class RunConfig:
         machine removals and rejoins) with migration traffic charged as
         real bandwidth, and the report's ledger section grows an
         ``epochs`` summary.  ``None`` is the static partition.
+    updates:
+        Optional :class:`~repro.scenarios.updates.UpdatePlan`; when set,
+        the input graph mutates mid-run: seeded batches of edge
+        insertions/deletions are replayed against the maintained
+        structure, each charged as a real ``update:batch:<i>`` bulk step
+        (DESIGN.md §11).  Only update-capable algorithms (``mst_dynamic``)
+        accept a non-benign plan.  ``None`` is the static input.
     params:
         Algorithm-specific extras, e.g. ``{"output": "strict"}`` for MST or
         ``{"problem": "st_connectivity", "s": 0, "t": 7}`` for verification.
@@ -212,6 +221,7 @@ class RunConfig:
     charge_shared_randomness: bool = True
     faults: FaultPlan | None = None
     churn: ChurnPlan | None = None
+    updates: UpdatePlan | None = None
     params: dict = field(default_factory=dict)
 
     def validate(self) -> "RunConfig":
@@ -242,6 +252,15 @@ class RunConfig:
                 self.churn.validate()
             except ValueError as exc:
                 raise ConfigError(str(exc)) from None
+        if self.updates is not None:
+            if not isinstance(self.updates, UpdatePlan):
+                raise ConfigError(
+                    f"updates must be an UpdatePlan or None, got {type(self.updates).__name__}"
+                )
+            try:
+                self.updates.validate()
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from None
         self.sketch.validate()
         self.cluster.validate()
         return self
@@ -249,8 +268,17 @@ class RunConfig:
     # -- provenance -------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """A plain, JSON-serializable dict (nested sections included)."""
-        return asdict(self)
+        """A plain, JSON-serializable dict (nested sections included).
+
+        The ``updates`` key is omitted when no plan is set, so the
+        provenance of update-free runs — and therefore their envelopes
+        and the service envelope digests — is byte-identical to the
+        pre-dynamic-input world (DESIGN.md §11 determinism contract).
+        """
+        d = asdict(self)
+        if d.get("updates") is None:
+            d.pop("updates", None)
+        return d
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
@@ -271,7 +299,12 @@ class RunConfig:
         churn = d.pop("churn", None)
         if churn is not None and not isinstance(churn, ChurnPlan):
             churn = ChurnPlan.from_dict(churn)
-        return cls(sketch=sketch, cluster=cluster, faults=faults, churn=churn, **d).validate()
+        updates = d.pop("updates", None)
+        if updates is not None and not isinstance(updates, UpdatePlan):
+            updates = UpdatePlan.from_dict(updates)
+        return cls(
+            sketch=sketch, cluster=cluster, faults=faults, churn=churn, updates=updates, **d
+        ).validate()
 
     def with_overrides(self, **kwargs: Any) -> "RunConfig":
         """A copy with top-level fields replaced (``dataclasses.replace``)."""

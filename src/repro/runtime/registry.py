@@ -60,10 +60,12 @@ class GraphContext:
 
     @property
     def n(self) -> int:
+        """Vertex count of the wrapped graph."""
         return self.graph.n  # type: ignore[attr-defined]
 
     @property
     def m(self) -> int:
+        """Edge count of the wrapped graph."""
         return self.graph.m  # type: ignore[attr-defined]
 
 
@@ -99,6 +101,7 @@ class AlgorithmSpec:
     requires_weights: bool
     runner: Callable[..., RunnerOutput]
     graph_only: bool = False
+    supports_updates: bool = False
 
     def run(
         self,
@@ -117,6 +120,14 @@ class AlgorithmSpec:
         """
         cfg = (config if config is not None else RunConfig()).validate()
         resolved = resolve_seed(seed, cfg.seed)
+        if cfg.updates is not None and not cfg.updates.is_benign and not self.supports_updates:
+            # A static algorithm cannot replay an update stream; silently
+            # dropping the plan would corrupt provenance (the rep rule).
+            raise ConfigError(
+                f"algorithm {self.name!r} does not maintain state under updates; "
+                "only update-capable algorithms (mst_dynamic) accept a non-benign "
+                "update plan"
+            )
         if self.requires_weights and not cluster.graph.weighted:
             raise ConfigError(
                 f"algorithm {self.name!r} requires a weighted graph; "
@@ -196,6 +207,7 @@ def register_algorithm(
     kind: str = "paper",
     requires_weights: bool = False,
     graph_only: bool = False,
+    supports_updates: bool = False,
 ) -> Callable[[Callable[..., RunnerOutput]], Callable[..., RunnerOutput]]:
     """Decorator: register ``fn(cluster, config, seed) -> RunnerOutput`` under ``name``.
 
@@ -203,11 +215,15 @@ def register_algorithm(
     (they build their own machines internally, like the REP baseline); the
     Session then skips cluster construction and passes a
     :class:`GraphContext`, and the adapter must return ledger totals.
+    ``supports_updates`` marks algorithms that maintain state under a
+    non-benign :class:`~repro.scenarios.updates.UpdatePlan`; every other
+    algorithm rejects such a plan with a :class:`ConfigError`.
     """
     if kind not in ("paper", "baseline"):
         raise ValueError(f"kind must be 'paper' or 'baseline', got {kind!r}")
 
     def decorate(fn: Callable[..., RunnerOutput]) -> Callable[..., RunnerOutput]:
+        """Register ``fn`` under ``name`` and return it unchanged."""
         if name in _REGISTRY:
             raise ValueError(f"algorithm {name!r} is already registered")
         _REGISTRY[name] = AlgorithmSpec(
@@ -217,6 +233,7 @@ def register_algorithm(
             requires_weights=requires_weights,
             runner=fn,
             graph_only=graph_only,
+            supports_updates=supports_updates,
         )
         return fn
 

@@ -10,20 +10,25 @@ reproducible axis of every run (DESIGN.md §7):
 * :mod:`repro.scenarios.churn` — the dynamic adversary: typed schedules
   of partition epochs (mid-run re-shuffles, machine removals/rejoins)
   with migration traffic charged as real bandwidth (DESIGN.md §8).
+* :mod:`repro.scenarios.updates` — the dynamic *input*: typed, seeded
+  schedules of batched edge insertions/deletions replayed against a
+  maintained connectivity/MST structure (DESIGN.md §11).
 * :mod:`repro.scenarios.registry` — named scenarios combining a
-  worst-case graph family, a partition-skew scheme, a fault plan and a
-  churn plan, consumed by ``Session.run(..., scenario=...)``, the sweep
-  API and the CLI (``repro run --scenario``, ``repro scenarios list``).
+  worst-case graph family, a partition-skew scheme, a fault plan, a
+  churn plan and an update plan, consumed by ``Session.run(...,
+  scenario=...)``, the sweep API and the CLI (``repro run --scenario``,
+  ``repro scenarios list``).
 
-This ``__init__`` imports only the plan layers (faults, churn) eagerly:
-:mod:`repro.runtime.config` embeds :class:`FaultPlan` and
-:class:`ChurnPlan`, so importing the registry here (which itself imports
-the runtime) would create a cycle.  Registry names resolve lazily via
-module ``__getattr__``.
+This ``__init__`` imports only the plan layers (faults, churn, updates)
+eagerly: :mod:`repro.runtime.config` embeds :class:`FaultPlan`,
+:class:`ChurnPlan` and :class:`UpdatePlan`, so importing the registry
+here (which itself imports the runtime) would create a cycle.  Registry
+names resolve lazily via module ``__getattr__``.
 """
 
 from repro.scenarios.churn import ChurnEvent, ChurnPlan, EpochModel
 from repro.scenarios.faults import FaultModel, FaultPlan, FaultRecord
+from repro.scenarios.updates import UpdateBatch, UpdatePlan
 
 __all__ = [
     "ChurnEvent",
@@ -33,6 +38,8 @@ __all__ = [
     "FaultPlan",
     "FaultRecord",
     "Scenario",
+    "UpdateBatch",
+    "UpdatePlan",
     "get_scenario",
     "list_scenarios",
     "register_scenario",

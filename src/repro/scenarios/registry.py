@@ -1,6 +1,6 @@
 """The scenario registry: named hostile conditions for any run.
 
-A :class:`Scenario` bundles the three adversarial axes the ROADMAP's
+A :class:`Scenario` bundles the adversarial axes the ROADMAP's
 "as many scenarios as you can imagine" demands:
 
 * a **graph family** — one of the worst-case families in
@@ -9,10 +9,15 @@ A :class:`Scenario` bundles the three adversarial axes the ROADMAP's
 * a **partition scheme** — a :class:`~repro.cluster.partition.PartitionConfig`
   placement (uniform / powerlaw / locality / adversarial_heavy),
 * a **fault plan** — a :class:`~repro.scenarios.faults.FaultPlan` for the
-  network (or ``None`` for a clean one).
+  network (or ``None`` for a clean one),
+* a **churn plan** — a :class:`~repro.scenarios.churn.ChurnPlan` of
+  partition epochs and machine churn (or ``None`` for a static cluster),
+* an **update plan** — an :class:`~repro.scenarios.updates.UpdatePlan`
+  of batched edge insertions/deletions for a maintained structure (or
+  ``None`` for a static input; DESIGN.md §11).
 
 Scenarios are pure *configuration*: :meth:`Scenario.apply` overlays the
-partition and fault sections onto any :class:`~repro.runtime.config.RunConfig`
+specified axes onto any :class:`~repro.runtime.config.RunConfig`
 (leaving everything else untouched), and :meth:`Scenario.make_graph`
 builds the input at a requested size.  ``Session.run(...,
 scenario=...)``, ``Session.sweep(..., scenario=...)`` and the CLI
@@ -30,6 +35,7 @@ from repro.graphs.graph import Graph
 from repro.runtime.config import RunConfig
 from repro.scenarios.churn import ChurnEvent, ChurnPlan
 from repro.scenarios.faults import FaultPlan
+from repro.scenarios.updates import UpdateBatch, UpdatePlan
 from repro.util.rng import derive_seed
 
 __all__ = ["Scenario", "get_scenario", "list_scenarios", "register_scenario"]
@@ -58,6 +64,10 @@ class Scenario:
     churn:
         Partition-epoch / machine-churn schedule applied to the run
         (``None`` = static partition; DESIGN.md §8).
+    updates:
+        Edge-update stream applied to the run (``None`` = static input;
+        DESIGN.md §11).  Only update-capable algorithms (``mst_dynamic``)
+        accept a scenario whose plan is non-benign.
     weighted:
         Attach unique edge weights to the input (required by MST runs;
         harmless elsewhere), so one scenario serves every algorithm.
@@ -69,6 +79,7 @@ class Scenario:
     partition: PartitionConfig = field(default_factory=PartitionConfig)
     faults: FaultPlan | None = None
     churn: ChurnPlan | None = None
+    updates: UpdatePlan | None = None
     weighted: bool = True
 
     def make_graph(self, n: int, seed: int = 0) -> Graph:
@@ -98,6 +109,7 @@ class Scenario:
             "partition": self.partition.to_dict(),
             "faults": None if self.faults is None else self.faults.to_dict(),
             "churn": None if self.churn is None else self.churn.to_dict(),
+            "updates": None if self.updates is None else self.updates.to_dict(),
         }
 
     def apply(self, config: RunConfig) -> RunConfig:
@@ -116,8 +128,11 @@ class Scenario:
             partition = config.cluster.partition
         faults = self.faults if self.faults is not None else config.faults
         churn = self.churn if self.churn is not None else config.churn
+        updates = self.updates if self.updates is not None else config.updates
         cluster = replace(config.cluster, partition=partition)
-        return config.with_overrides(cluster=cluster, faults=faults, churn=churn).validate()
+        return config.with_overrides(
+            cluster=cluster, faults=faults, churn=churn, updates=updates
+        ).validate()
 
 
 def register_scenario(scenario: Scenario) -> Scenario:
@@ -129,6 +144,8 @@ def register_scenario(scenario: Scenario) -> Scenario:
         scenario.faults.validate()
     if scenario.churn is not None:
         scenario.churn.validate()
+    if scenario.updates is not None:
+        scenario.updates.validate()
     _REGISTRY[scenario.name] = scenario
     return scenario
 
@@ -157,6 +174,17 @@ def get_scenario(name: str) -> Scenario:
 #: The ISSUE-3 acceptance envelope: drop <= 10%, stalls <= 2 rounds.
 _STANDARD_FAULTS = FaultPlan(
     drop_prob=0.1, dup_prob=0.02, stall_prob=0.05, max_stall_rounds=2
+)
+
+#: The standard dynamic-input workload: a mixed batch, an adversarial
+#: tree-edge deletion wave, and churn concentrated on one hot component.
+_STANDARD_UPDATES = UpdatePlan(
+    batches=(
+        UpdateBatch(kind="mix", size=24, insert_fraction=0.5),
+        UpdateBatch(kind="tree_delete", size=12),
+        UpdateBatch(kind="hot_component", size=16, insert_fraction=0.75),
+        UpdateBatch(kind="mix", size=24, insert_fraction=0.25),
+    )
 )
 
 for _scenario in (
@@ -232,6 +260,20 @@ for _scenario in (
                 ChurnEvent(18, "remove", machine=2),
             )
         ),
+        faults=_STANDARD_FAULTS,
+    ),
+    # Dynamic input: batched edge-update streams (DESIGN.md §11).
+    Scenario(
+        "update_storm",
+        "batched edge updates on G(n, 3n): a mixed wave, adversarial "
+        "tree-edge deletions, then hot-component churn (mst_dynamic)",
+        updates=_STANDARD_UPDATES,
+    ),
+    Scenario(
+        "live_graph",
+        "the production live-graph condition: edge-update batches on the "
+        "standard lossy network (mst_dynamic under faults)",
+        updates=_STANDARD_UPDATES,
         faults=_STANDARD_FAULTS,
     ),
     # Everything at once.

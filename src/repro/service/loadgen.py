@@ -62,6 +62,7 @@ class MixSpec:
     hot_fraction: float = 0.75
 
     def validate(self) -> "MixSpec":
+        """Raise ``ValueError`` on empty populations or invalid knobs; return self."""
         if not self.algorithms:
             raise ValueError("mix needs at least one algorithm")
         if not self.scenarios or not self.ns or not self.ks or not self.seeds:
@@ -121,6 +122,7 @@ class LoadgenOptions:
     shutdown: bool = False
 
     def validate(self) -> "LoadgenOptions":
+        """Raise ``ValueError`` on invalid drive options; return self."""
         if self.mode not in ("closed", "open"):
             raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
         if self.requests < 1:
@@ -176,6 +178,7 @@ class LoadgenResult:
         }
 
     def to_dict(self) -> dict[str, Any]:
+        """The full drive outcome as JSON-ready data (advisory timing included)."""
         return {
             **self.deterministic_metrics(),
             "by_algorithm": dict(sorted(self.by_algorithm.items())),

@@ -127,6 +127,13 @@ class RunRequest:
         :class:`~repro.scenarios.registry.Scenario`, so one cached graph
         serves weighted and unweighted algorithms alike); forced on when
         the algorithm requires weights.
+    updates:
+        Optional :class:`~repro.scenarios.updates.UpdatePlan` as its
+        ``to_dict`` form — an edge-update stream to replay against a
+        maintained structure (``mst_dynamic``).  Deliberately *not* part
+        of :meth:`cluster_key`: the stream mutates maintained state, not
+        the cluster build, so update traffic still coalesces onto the
+        same cached cluster as static traffic for the same input.
     params:
         Algorithm-specific extras, merged into ``RunConfig.params``.
     """
@@ -140,6 +147,7 @@ class RunRequest:
     scheme: str = "uniform"
     epoch: int = 0
     weighted: bool = True
+    updates: dict | None = None
     params: dict = field(default_factory=dict)
 
     def validate(self) -> "RunRequest":
@@ -164,6 +172,17 @@ class RunRequest:
             )
         if not isinstance(self.epoch, int) or self.epoch < 0:
             raise ProtocolError(f"epoch must be a non-negative int, got {self.epoch!r}")
+        if self.updates is not None:
+            if not isinstance(self.updates, dict):
+                raise ProtocolError(
+                    f"updates must be an object or null, got {type(self.updates).__name__}"
+                )
+            from repro.scenarios.updates import UpdatePlan
+
+            try:
+                UpdatePlan.from_dict(self.updates)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"invalid update plan: {exc}") from None
         if not isinstance(self.params, dict):
             raise ProtocolError(f"params must be an object, got {type(self.params).__name__}")
         return self
@@ -171,6 +190,7 @@ class RunRequest:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
+        """The request as JSON-ready data (inverse of :meth:`from_dict`)."""
         return {
             "algorithm": self.algorithm,
             "family": self.family,
@@ -181,6 +201,7 @@ class RunRequest:
             "scheme": self.scheme,
             "epoch": self.epoch,
             "weighted": self.weighted,
+            "updates": None if self.updates is None else dict(self.updates),
             "params": dict(self.params),
         }
 
@@ -190,7 +211,7 @@ class RunRequest:
         d = dict(data)
         unknown = set(d) - {
             "algorithm", "family", "scenario", "n", "seed", "k",
-            "scheme", "epoch", "weighted", "params",
+            "scheme", "epoch", "weighted", "updates", "params",
         }
         if unknown:
             raise ProtocolError(f"unknown request fields: {', '.join(sorted(unknown))}")
@@ -223,9 +244,15 @@ class RunRequest:
         the same composition ``Session.run(..., scenario=...)`` applies,
         so served envelopes carry identical config provenance.
         """
+        updates = None
+        if self.updates is not None:
+            from repro.scenarios.updates import UpdatePlan
+
+            updates = UpdatePlan.from_dict(self.updates)
         base = RunConfig(
             seed=self.seed,
             cluster=ClusterConfig(k=self.k, partition=PartitionConfig(scheme=self.scheme)),
+            updates=updates,
             params=dict(self.params),
         ).validate()
         sc = self.resolved_scenario()

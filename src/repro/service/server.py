@@ -96,6 +96,7 @@ class _Worker:
         }
 
     def close(self) -> None:
+        """Shut down the worker's executor and release its caches."""
         self.executor.shutdown(wait=True, cancel_futures=True)
         self.session.close()
         self.graphs.clear()

@@ -215,6 +215,24 @@ class TestCli:
         assert ChurnPlan.from_dict(plan["churn"]) == sc.churn
         assert PartitionConfig.from_dict(plan["partition"]) == sc.partition
 
+    def test_scenarios_show_renders_updates_axis(self, capsys):
+        import json
+
+        from repro.scenarios.updates import UpdatePlan
+
+        assert main(["scenarios", "show", "update_storm"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        sc = get_scenario("update_storm")
+        assert UpdatePlan.from_dict(plan["updates"]) == sc.updates
+        assert plan["updates"]["batches"], "update_storm must carry a non-benign plan"
+        # The listing tags the axis so `scenarios list | grep updates` works.
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        storm_line = next(line for line in out.splitlines() if "update_storm" in line)
+        assert "updates" in storm_line
+        live_line = next(line for line in out.splitlines() if "live_graph" in line)
+        assert "faults" in live_line and "updates" in live_line
+
     def test_scenarios_show_family_and_absent_axes(self, capsys):
         import json
 
@@ -222,6 +240,7 @@ class TestCli:
         plan = json.loads(capsys.readouterr().out)
         assert plan["family"] == "lollipop"
         assert plan["faults"] is None and plan["churn"] is None
+        assert plan["updates"] is None
 
     def test_scenarios_show_unknown_is_usage_error(self, capsys):
         assert main(["scenarios", "show", "nope"]) == 2

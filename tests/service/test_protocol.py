@@ -162,3 +162,49 @@ def test_build_graph_scenario_path_matches_scenario():
     assert got.n == expected.n
     assert (got.edges_u == expected.edges_u).all()
     assert (got.edges_v == expected.edges_v).all()
+
+
+# -- update streams ---------------------------------------------------------
+
+
+def _storm_dict() -> dict:
+    from repro.scenarios.updates import UpdateBatch, UpdatePlan
+
+    return UpdatePlan(
+        batches=(
+            UpdateBatch(kind="mix", size=12, insert_fraction=0.5),
+            UpdateBatch(kind="tree_delete", size=6),
+        )
+    ).to_dict()
+
+
+def test_request_roundtrips_update_plan():
+    from repro.scenarios.updates import UpdatePlan
+
+    req = RunRequest(algorithm="mst_dynamic", n=96, seed=2, updates=_storm_dict())
+    again = RunRequest.from_dict(req.to_dict())
+    assert again == req
+    cfg = again.run_config()
+    assert cfg.updates == UpdatePlan.from_dict(_storm_dict())
+
+
+def test_updates_do_not_split_the_cluster_key():
+    # The stream mutates maintained state, not the cluster build: update
+    # traffic must coalesce onto the same cached cluster as static traffic.
+    static = RunRequest(algorithm="mst", n=64, seed=1)
+    dynamic = RunRequest(algorithm="mst_dynamic", n=64, seed=1, updates=_storm_dict())
+    assert dynamic.cluster_key() == static.cluster_key()
+    assert dynamic.graph_key() == static.graph_key()
+
+
+@pytest.mark.parametrize(
+    "updates",
+    [
+        17,  # not an object
+        {"batches": [{"kind": "meteor", "size": 4}]},  # bad kind
+        {"batches": [], "surprise": 1},  # unknown key
+    ],
+)
+def test_invalid_update_plan_is_a_protocol_error(updates):
+    with pytest.raises(ProtocolError):
+        RunRequest(algorithm="mst_dynamic", updates=updates).validate()

@@ -214,3 +214,33 @@ def test_key_affinity_is_stable():
         await service.aclose()
 
     asyncio.run(go())
+
+
+def test_served_dynamic_update_run_matches_local_session_bytes():
+    from repro.scenarios.updates import UpdateBatch, UpdatePlan
+
+    plan = UpdatePlan(
+        batches=(
+            UpdateBatch(kind="mix", size=12, insert_fraction=0.5),
+            UpdateBatch(kind="tree_delete", size=6),
+        )
+    )
+    dyn = RunRequest(algorithm="mst_dynamic", n=96, seed=3, k=4, updates=plan.to_dict())
+    static = RunRequest(algorithm="mst", n=96, seed=3, k=4)
+
+    async def drive(service, host, port):
+        first, second = await _exchange(
+            host,
+            port,
+            {"op": "run", "id": 1, "request": static.to_dict()},
+            {"op": "run", "id": 2, "request": dyn.to_dict()},
+        )
+        return first[-1], second[-1]
+
+    a, b = _serve(drive)
+    # The update stream rides the cached cluster the static run built...
+    assert a["service"]["coalesced"] is False
+    assert b["service"]["coalesced"] is True
+    # ...and the served envelope is byte-identical to a local Session run.
+    assert b["report"] == _direct_envelope(dyn)
+    assert b["report"]["result"]["updates_applied"] > 0

@@ -9,7 +9,7 @@ alone — CI must not depend on the network.
 
 Usage::
 
-    python tools/check_docs.py [FILE.md ...]     # default: README.md DESIGN.md
+    python tools/check_docs.py [FILE.md ...]     # default: README.md DESIGN.md docs/*.md
 
 Exit codes: 0 all links resolve, 1 at least one broken link (each is
 printed as ``file:line: message``).
@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_FILES = ("README.md", "DESIGN.md")
+DEFAULT_FILES = ("README.md", "DESIGN.md", "docs/live-graph.md", "docs/update-plans.md")
 
 #: ``[text](target)`` — good enough for these docs (no nested brackets).
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
