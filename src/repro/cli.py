@@ -49,6 +49,7 @@ from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.runtime import (
     ClusterConfig,
+    LogDiamConfig,
     RunConfig,
     Session,
     SketchConfig,
@@ -154,6 +155,13 @@ def _parse_param(text: str):
 
 
 def _config_from_args(args: argparse.Namespace) -> RunConfig:
+    logdiam = None
+    if getattr(args, "space_bound", None) is not None or getattr(
+        args, "doubling_budget", None
+    ) is not None:
+        logdiam = LogDiamConfig(
+            space_bound=args.space_bound, doubling_budget=args.doubling_budget
+        )
     config = RunConfig(
         seed=args.seed,
         sketch=SketchConfig(repetitions=args.repetitions, hash_family=args.hash_family),
@@ -163,6 +171,7 @@ def _config_from_args(args: argparse.Namespace) -> RunConfig:
             partition_seed=args.partition_seed,
         ),
         max_phases=args.max_phases,
+        logdiam=logdiam,
         params=dict(args.param or []),
     ).validate()
     scenario = _scenario_of(args)
@@ -218,6 +227,19 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
         help="sketch hash family",
     )
     cfg.add_argument("--max-phases", type=int, default=None, help="phase budget override")
+    cfg.add_argument(
+        "--space-bound",
+        type=int,
+        default=None,
+        help="per-vertex ball bound for connectivity_logdiam (default unbounded)",
+    )
+    cfg.add_argument(
+        "--doubling-budget",
+        type=int,
+        default=None,
+        help="doubling-iteration budget for connectivity_logdiam "
+        "(default: --max-phases, else run to fixpoint)",
+    )
     cfg.add_argument(
         "--bandwidth-multiplier",
         type=int,
@@ -409,6 +431,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         clients=args.clients,
         mode=args.mode,
         rate=args.rate,
+        max_inflight=args.max_inflight,
         mix=mix,
         mix_seed=args.mix_seed,
         timeout=args.timeout,
@@ -619,6 +642,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     drive.add_argument(
         "--rate", type=float, default=50.0, help="open-loop arrivals per second"
+    )
+    drive.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="open-loop cap on concurrent dispatches (default 256); latency is "
+        "measured from the scheduled arrival, so queueing at this gate is "
+        "reported, not hidden",
     )
     drive.add_argument(
         "--timeout", type=float, default=120.0, help="per-exchange timeout seconds"

@@ -36,6 +36,7 @@ from repro.runtime.config import (
     ClusterConfig,
     ConfigError,
     FaultPlan,
+    LogDiamConfig,
     PartitionConfig,
     RunConfig,
     SketchConfig,
@@ -60,6 +61,7 @@ __all__ = [
     "ClusterConfig",
     "ConfigError",
     "FaultPlan",
+    "LogDiamConfig",
     "PartitionConfig",
     "RunConfig",
     "RunReport",

@@ -8,7 +8,7 @@ only translate configuration and flatten results into the envelope schema.
 
 Registered names::
 
-    paper:    connectivity, mst, mst_dynamic, mincut, verify
+    paper:    connectivity, connectivity_logdiam, mst, mst_dynamic, mincut, verify
     baseline: flooding, boruvka_nosketch, referee, rep
 
 This module is imported lazily by the registry (first call to
@@ -31,9 +31,10 @@ from repro.core import verify as verify_mod
 from repro.core.connectivity import connected_components_distributed
 from repro.core.dynamic import dynamic_msf_updates
 from repro.core.labels import canonical_labels
+from repro.core.logdiam import logdiam_connectivity
 from repro.core.mincut import mincut_approx_distributed
 from repro.core.mst import minimum_spanning_tree_distributed
-from repro.runtime.config import ConfigError, RunConfig
+from repro.runtime.config import ConfigError, LogDiamConfig, RunConfig
 from repro.runtime.registry import RunnerOutput, register_algorithm
 
 __all__: list[str] = []
@@ -66,6 +67,38 @@ def _run_connectivity(cluster, config: RunConfig, seed: int) -> RunnerOutput:
             "forest_u": res.forest_u,
             "forest_v": res.forest_v,
             "forest_machine": res.forest_machine,
+        },
+        phase_stats=[asdict(s) for s in res.phase_stats],
+    )
+
+
+@register_algorithm(
+    "connectivity_logdiam",
+    summary="ASSW'18 rival: neighborhood-doubling connectivity, O(log D) doubling "
+    "rounds with space-bounded balls (config.logdiam: space_bound, doubling_budget)",
+    kind="paper",
+    supports_logdiam=True,
+)
+def _run_connectivity_logdiam(cluster, config: RunConfig, seed: int) -> RunnerOutput:
+    ld = config.logdiam if config.logdiam is not None else LogDiamConfig()
+    # The budget vocabulary is shared with the sketch family: an explicit
+    # doubling_budget wins, else the run-wide phase budget applies.  The
+    # sketch section and charge_shared_randomness are meaningless here
+    # (deterministic, sketch-free) and are ignored — DESIGN.md §12.
+    budget = ld.doubling_budget if ld.doubling_budget is not None else config.max_phases
+    res = logdiam_connectivity(
+        cluster,
+        seed,
+        space_bound=ld.space_bound,
+        doubling_budget=budget,
+    )
+    return RunnerOutput(
+        result={
+            "n_components": res.n_components,
+            "doubling_rounds": res.doubling_rounds,
+            "converged": res.converged,
+            "space_bound": res.space_bound,
+            "labels": canonical_labels(res.labels),
         },
         phase_stats=[asdict(s) for s in res.phase_stats],
     )

@@ -41,6 +41,7 @@ __all__ = [
     "ChurnPlan",
     "ClusterConfig",
     "FaultPlan",
+    "LogDiamConfig",
     "PartitionConfig",
     "RunConfig",
     "SketchConfig",
@@ -115,6 +116,49 @@ class SketchConfig:
         if self.hash_family not in HASH_FAMILIES:
             raise ConfigError(
                 f"hash_family must be one of {HASH_FAMILIES}, got {self.hash_family!r}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class LogDiamConfig:
+    """Knobs of the neighborhood-doubling (log-diameter MPC) family.
+
+    The sketch vocabulary above is meaningless to graph exponentiation,
+    so its knobs get their own optional section rather than being
+    shoehorned into ``SketchConfig`` — ``RunConfig.logdiam`` is ``None``
+    for every sketch-based run, and only algorithms registered with
+    ``supports_logdiam=True`` accept a non-``None`` section.
+
+    Attributes
+    ----------
+    space_bound:
+        Per-vertex ball bound ``s`` — the analogue of the MPC paper's
+        per-machine space ``n^delta``.  ``None`` is unbounded (pure
+        graph exponentiation, O(log D) doubling rounds).
+    doubling_budget:
+        Cap on doubling iterations.  ``None`` defers to
+        ``RunConfig.max_phases``, and failing that runs to the ball
+        fixpoint (guaranteed within n + 1 iterations by the flooding
+        floor; see ``repro.core.logdiam``).
+    """
+
+    space_bound: int | None = None
+    doubling_budget: int | None = None
+
+    def validate(self) -> "LogDiamConfig":
+        """Raise :class:`ConfigError` on invalid fields; return self."""
+        if self.space_bound is not None and (
+            not isinstance(self.space_bound, int) or self.space_bound < 1
+        ):
+            raise ConfigError(
+                f"space_bound must be a positive int or None, got {self.space_bound!r}"
+            )
+        if self.doubling_budget is not None and (
+            not isinstance(self.doubling_budget, int) or self.doubling_budget < 1
+        ):
+            raise ConfigError(
+                f"doubling_budget must be a positive int or None, got {self.doubling_budget!r}"
             )
         return self
 
@@ -208,6 +252,12 @@ class RunConfig:
         structure, each charged as a real ``update:batch:<i>`` bulk step
         (DESIGN.md §11).  Only update-capable algorithms (``mst_dynamic``)
         accept a non-benign plan.  ``None`` is the static input.
+    logdiam:
+        Optional :class:`LogDiamConfig`; the knob section of the
+        neighborhood-doubling family (``connectivity_logdiam``).  Only
+        algorithms registered with ``supports_logdiam=True`` accept a
+        non-``None`` section; everything else rejects it with
+        :class:`ConfigError` (DESIGN.md §12).
     params:
         Algorithm-specific extras, e.g. ``{"output": "strict"}`` for MST or
         ``{"problem": "st_connectivity", "s": 0, "t": 7}`` for verification.
@@ -222,6 +272,7 @@ class RunConfig:
     faults: FaultPlan | None = None
     churn: ChurnPlan | None = None
     updates: UpdatePlan | None = None
+    logdiam: LogDiamConfig | None = None
     params: dict = field(default_factory=dict)
 
     def validate(self) -> "RunConfig":
@@ -261,6 +312,12 @@ class RunConfig:
                 self.updates.validate()
             except ValueError as exc:
                 raise ConfigError(str(exc)) from None
+        if self.logdiam is not None:
+            if not isinstance(self.logdiam, LogDiamConfig):
+                raise ConfigError(
+                    f"logdiam must be a LogDiamConfig or None, got {type(self.logdiam).__name__}"
+                )
+            self.logdiam.validate()
         self.sketch.validate()
         self.cluster.validate()
         return self
@@ -270,14 +327,16 @@ class RunConfig:
     def to_dict(self) -> dict[str, Any]:
         """A plain, JSON-serializable dict (nested sections included).
 
-        The ``updates`` key is omitted when no plan is set, so the
-        provenance of update-free runs — and therefore their envelopes
-        and the service envelope digests — is byte-identical to the
-        pre-dynamic-input world (DESIGN.md §11 determinism contract).
+        The ``updates`` and ``logdiam`` keys are omitted when unset, so
+        the provenance of runs that don't use them — and therefore their
+        envelopes and the service envelope digests — is byte-identical
+        to the world before each section existed (DESIGN.md §11
+        determinism contract).
         """
         d = asdict(self)
-        if d.get("updates") is None:
-            d.pop("updates", None)
+        for optional in ("updates", "logdiam"):
+            if d.get(optional) is None:
+                d.pop(optional, None)
         return d
 
     @classmethod
@@ -302,8 +361,17 @@ class RunConfig:
         updates = d.pop("updates", None)
         if updates is not None and not isinstance(updates, UpdatePlan):
             updates = UpdatePlan.from_dict(updates)
+        logdiam = d.pop("logdiam", None)
+        if logdiam is not None and not isinstance(logdiam, LogDiamConfig):
+            logdiam = LogDiamConfig(**logdiam)
         return cls(
-            sketch=sketch, cluster=cluster, faults=faults, churn=churn, updates=updates, **d
+            sketch=sketch,
+            cluster=cluster,
+            faults=faults,
+            churn=churn,
+            updates=updates,
+            logdiam=logdiam,
+            **d,
         ).validate()
 
     def with_overrides(self, **kwargs: Any) -> "RunConfig":

@@ -102,6 +102,7 @@ class AlgorithmSpec:
     runner: Callable[..., RunnerOutput]
     graph_only: bool = False
     supports_updates: bool = False
+    supports_logdiam: bool = False
 
     def run(
         self,
@@ -127,6 +128,15 @@ class AlgorithmSpec:
                 f"algorithm {self.name!r} does not maintain state under updates; "
                 "only update-capable algorithms (mst_dynamic) accept a non-benign "
                 "update plan"
+            )
+        if cfg.logdiam is not None and not self.supports_logdiam:
+            # The logdiam section parameterizes neighborhood doubling;
+            # a sketch-based run that silently ignored it would record
+            # misleading provenance (same rule as the updates plan).
+            raise ConfigError(
+                f"algorithm {self.name!r} ignores the logdiam config section; "
+                "only neighborhood-doubling algorithms (connectivity_logdiam) "
+                "accept one"
             )
         if self.requires_weights and not cluster.graph.weighted:
             raise ConfigError(
@@ -208,6 +218,7 @@ def register_algorithm(
     requires_weights: bool = False,
     graph_only: bool = False,
     supports_updates: bool = False,
+    supports_logdiam: bool = False,
 ) -> Callable[[Callable[..., RunnerOutput]], Callable[..., RunnerOutput]]:
     """Decorator: register ``fn(cluster, config, seed) -> RunnerOutput`` under ``name``.
 
@@ -218,6 +229,9 @@ def register_algorithm(
     ``supports_updates`` marks algorithms that maintain state under a
     non-benign :class:`~repro.scenarios.updates.UpdatePlan`; every other
     algorithm rejects such a plan with a :class:`ConfigError`.
+    ``supports_logdiam`` marks algorithms parameterized by the
+    neighborhood-doubling config section (``RunConfig.logdiam``); every
+    other algorithm rejects a non-``None`` section the same way.
     """
     if kind not in ("paper", "baseline"):
         raise ValueError(f"kind must be 'paper' or 'baseline', got {kind!r}")
@@ -234,6 +248,7 @@ def register_algorithm(
             runner=fn,
             graph_only=graph_only,
             supports_updates=supports_updates,
+            supports_logdiam=supports_logdiam,
         )
         return fn
 

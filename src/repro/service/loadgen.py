@@ -18,6 +18,14 @@ determinism split the rest of the repository uses (DESIGN.md §10):
   advisory wall-clock facts (throughput, latency percentiles).
   ``deterministic_metrics()`` is exactly the subset ``BENCH_service_*``
   perf-gates.
+
+Open-loop latency is measured from each request's *scheduled* arrival
+time (``start + idx / rate``), so time spent queued behind the
+``max_inflight`` gate or the connection open counts toward it; the
+queued share is additionally reported as the ``queue_wait_s`` advisory
+channel.  Measuring from post-gate dispatch instead would be coordinated
+omission: an overloaded server would report optimistic percentiles
+precisely when the overload probe matters.
 """
 
 from __future__ import annotations
@@ -108,7 +116,15 @@ def build_mix(requests: int, mix_seed: int, spec: MixSpec | None = None) -> list
 
 @dataclass(frozen=True)
 class LoadgenOptions:
-    """One load-generation drive (see module docstring for the modes)."""
+    """One load-generation drive (see module docstring for the modes).
+
+    ``max_inflight`` caps concurrent open-loop dispatches (connection +
+    in-service request).  It exists so an overload probe cannot exhaust
+    file descriptors, but it is a *visible* knob: with the cap saturated
+    the drive degenerates toward closed-loop behavior, and the honest
+    open-loop latency (measured from the scheduled arrival) shows the
+    resulting queue wait rather than hiding it.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0
@@ -116,6 +132,7 @@ class LoadgenOptions:
     clients: int = 4
     mode: str = "closed"
     rate: float = 50.0
+    max_inflight: int = 256
     mix: MixSpec = field(default_factory=MixSpec)
     mix_seed: int = 0
     timeout: float = 120.0
@@ -131,6 +148,8 @@ class LoadgenOptions:
             raise ValueError(f"clients must be >= 1, got {self.clients}")
         if self.mode == "open" and self.rate <= 0:
             raise ValueError(f"open-loop rate must be > 0, got {self.rate}")
+        if not isinstance(self.max_inflight, int) or self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be an int >= 1, got {self.max_inflight!r}")
         self.mix.validate()
         return self
 
@@ -157,6 +176,7 @@ class LoadgenResult:
     wall_s: float
     throughput_rps: float
     latency_s: dict[str, float]
+    queue_wait_s: dict[str, float] = field(default_factory=dict)
 
     def deterministic_metrics(self) -> dict[str, Any]:
         """The perf-gateable subset: pure functions of the seeded mix
@@ -186,28 +206,36 @@ class LoadgenResult:
             "wall_s": self.wall_s,
             "throughput_rps": self.throughput_rps,
             "latency_s": dict(self.latency_s),
+            "queue_wait_s": dict(self.queue_wait_s),
         }
 
     def summary(self) -> str:
         """Human-readable drive summary (CLI output)."""
         hit_rate = self.coalesce_hits / max(1, self.coalesce_hits + self.cluster_builds)
         lat = self.latency_s
-        return "\n".join(
-            [
-                f"requests: {self.ok}/{self.requests} ok, {self.errors} errors, "
-                f"{self.distinct_keys} distinct cluster keys",
-                f"coalescing: {self.coalesce_hits} hits / {self.cluster_builds} builds "
-                f"(hit rate {hit_rate:.2f}), {self.inflight_coalesced} joined in flight, "
-                f"{self.cluster_evictions} evictions",
-                f"model cost: {self.total_rounds} rounds, {self.total_bits} bits "
-                f"across the mix",
-                f"wall: {self.wall_s:.3f}s ({self.throughput_rps:.1f} req/s); latency "
-                f"mean={lat.get('mean', 0.0):.4f}s p50={lat.get('p50', 0.0):.4f}s "
-                f"p90={lat.get('p90', 0.0):.4f}s p99={lat.get('p99', 0.0):.4f}s "
-                f"max={lat.get('max', 0.0):.4f}s",
-                f"envelopes sha256: {self.envelope_sha256[:16]}…",
-            ]
-        )
+        lines = [
+            f"requests: {self.ok}/{self.requests} ok, {self.errors} errors, "
+            f"{self.distinct_keys} distinct cluster keys",
+            f"coalescing: {self.coalesce_hits} hits / {self.cluster_builds} builds "
+            f"(hit rate {hit_rate:.2f}), {self.inflight_coalesced} joined in flight, "
+            f"{self.cluster_evictions} evictions",
+            f"model cost: {self.total_rounds} rounds, {self.total_bits} bits "
+            f"across the mix",
+            f"wall: {self.wall_s:.3f}s ({self.throughput_rps:.1f} req/s); latency "
+            f"mean={lat.get('mean', 0.0):.4f}s p50={lat.get('p50', 0.0):.4f}s "
+            f"p90={lat.get('p90', 0.0):.4f}s p99={lat.get('p99', 0.0):.4f}s "
+            f"max={lat.get('max', 0.0):.4f}s",
+        ]
+        if self.queue_wait_s:
+            qw = self.queue_wait_s
+            lines.append(
+                f"queue wait (open-loop, scheduled-arrival basis): "
+                f"mean={qw.get('mean', 0.0):.4f}s p50={qw.get('p50', 0.0):.4f}s "
+                f"p90={qw.get('p90', 0.0):.4f}s p99={qw.get('p99', 0.0):.4f}s "
+                f"max={qw.get('max', 0.0):.4f}s"
+            )
+        lines.append(f"envelopes sha256: {self.envelope_sha256[:16]}…")
+        return "\n".join(lines)
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -238,14 +266,13 @@ async def run_loadgen(options: LoadgenOptions) -> LoadgenResult:
     reports: list[dict | None] = [None] * len(mix)
     failures: list[str | None] = [None] * len(mix)
     latencies: list[float] = [0.0] * len(mix)
+    queue_waits: list[float] = [0.0] * len(mix)
 
     async def _one(idx: int, reader, writer) -> None:
-        t0 = time.perf_counter()
         frames = await _exchange(
             reader, writer, {"op": "run", "id": idx, "request": mix[idx].to_dict()},
             opts.timeout,
         )
-        latencies[idx] = time.perf_counter() - t0
         final = frames[-1]
         if final.get("ok"):
             reports[idx] = final["report"]
@@ -262,7 +289,9 @@ async def run_loadgen(options: LoadgenOptions) -> LoadgenResult:
             )
             try:
                 for idx in range(c, len(mix), clients):
+                    t0 = time.perf_counter()
                     await _one(idx, reader, writer)
+                    latencies[idx] = time.perf_counter() - t0
             finally:
                 writer.close()
                 await writer.wait_closed()
@@ -271,10 +300,17 @@ async def run_loadgen(options: LoadgenOptions) -> LoadgenResult:
     else:
         loop = asyncio.get_running_loop()
         start = loop.time()
-        gate = asyncio.Semaphore(256)
+        gate = asyncio.Semaphore(opts.max_inflight)
 
         async def _arrival(idx: int) -> None:
-            delay = start + idx / opts.rate - loop.time()
+            # Open-loop latency is measured from the *scheduled* arrival,
+            # not from post-gate dispatch: under overload the inflight
+            # gate and connection open queue requests, and excluding that
+            # wait is coordinated omission — optimistic percentiles
+            # exactly when the probe matters.  The queue share is also
+            # reported on its own advisory channel (queue_wait_s).
+            sched = start + idx / opts.rate
+            delay = sched - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
             async with gate:
@@ -282,10 +318,12 @@ async def run_loadgen(options: LoadgenOptions) -> LoadgenResult:
                     asyncio.open_connection(opts.host, opts.port), opts.timeout
                 )
                 try:
+                    queue_waits[idx] = loop.time() - sched
                     await _one(idx, reader, writer)
                 finally:
                     writer.close()
                     await writer.wait_closed()
+            latencies[idx] = loop.time() - sched
 
         await asyncio.gather(*(_arrival(i) for i in range(len(mix))))
     wall = time.perf_counter() - t_start
@@ -312,7 +350,18 @@ async def run_loadgen(options: LoadgenOptions) -> LoadgenResult:
     for req in mix:
         by_algorithm[req.algorithm] = by_algorithm.get(req.algorithm, 0) + 1
     keys = {req.cluster_key() for req in mix}
-    lat_sorted = sorted(latencies[i] for i in range(len(mix)) if reports[i] is not None)
+    served = [i for i in range(len(mix)) if reports[i] is not None]
+    lat_sorted = sorted(latencies[i] for i in served)
+    queue_channel: dict[str, float] = {}
+    if opts.mode == "open":
+        qw_sorted = sorted(queue_waits[i] for i in served)
+        queue_channel = {
+            "mean": sum(qw_sorted) / len(qw_sorted) if qw_sorted else 0.0,
+            "p50": _percentile(qw_sorted, 0.50),
+            "p90": _percentile(qw_sorted, 0.90),
+            "p99": _percentile(qw_sorted, 0.99),
+            "max": qw_sorted[-1] if qw_sorted else 0.0,
+        }
     clusters = stats["clusters"]
     graphs = stats["graphs"]
     return LoadgenResult(
@@ -340,6 +389,7 @@ async def run_loadgen(options: LoadgenOptions) -> LoadgenResult:
             "p99": _percentile(lat_sorted, 0.99),
             "max": lat_sorted[-1] if lat_sorted else 0.0,
         },
+        queue_wait_s=queue_channel,
     )
 
 

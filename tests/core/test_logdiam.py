@@ -1,0 +1,254 @@
+"""Neighborhood-doubling connectivity: correctness, the log-D bound, pricing.
+
+Three layers:
+
+* kernel units for the CSR helpers (``_s_smallest_per_owner`` et al.) —
+  the padded-unique/searchsorted tricks are exactly the kind of code a
+  reference-free bug hides in;
+* correctness of :func:`logdiam_connectivity` against the sequential
+  reference, in both the dense (unbounded) and sparse (truncated)
+  regimes, plus dense/sparse agreement at the boundary;
+* the complexity property the module exists for: on a path of diameter
+  D the untruncated run converges in ``ceil(log2 D) + O(1)`` doubling
+  rounds, far below the Theta(D) a flooding algorithm needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import KMachineCluster
+from repro.core.logdiam import (
+    _ball_groups,
+    _changed_mask,
+    _gather_segments,
+    _s_smallest_per_owner,
+    logdiam_connectivity,
+)
+from repro.graphs import generators as gen
+from repro.graphs import reference as ref
+
+
+def run(g, k=4, seed=5, **kw):
+    cl = KMachineCluster.create(g, k=k, seed=seed)
+    return cl, logdiam_connectivity(cl, seed=seed, **kw)
+
+
+class TestKernels:
+    def test_s_smallest_basic(self):
+        owners = np.array([0, 0, 0, 2, 2, 2, 2], dtype=np.int64)
+        vals = np.array([5, 1, 3, 9, 9, 2, 0], dtype=np.int64)
+        kept, ptr = _s_smallest_per_owner(owners, vals, 3, 2, universe=10)
+        assert ptr.tolist() == [0, 2, 2, 4]
+        assert kept.tolist() == [1, 3, 0, 2]  # owner 1 empty, dups dropped
+
+    def test_s_smallest_unbounded_keeps_distinct(self):
+        owners = np.array([1, 1, 1], dtype=np.int64)
+        vals = np.array([4, 4, 4], dtype=np.int64)
+        kept, ptr = _s_smallest_per_owner(owners, vals, 2, 99, universe=5)
+        assert kept.tolist() == [4] and ptr.tolist() == [0, 0, 1]
+
+    def test_gather_segments_round_trip(self):
+        vals = np.array([10, 11, 20, 30, 31, 32], dtype=np.int64)
+        ptr = np.array([0, 2, 3, 6], dtype=np.int64)
+        out, seg = _gather_segments(vals, ptr, np.array([2, 0], dtype=np.int64))
+        assert out.tolist() == [30, 31, 32, 10, 11]
+        assert seg.tolist() == [0, 0, 0, 1, 1]
+
+    def test_gather_segments_empty(self):
+        out, seg = _gather_segments(
+            np.empty(0, dtype=np.int64),
+            np.zeros(3, dtype=np.int64),
+            np.array([0, 1], dtype=np.int64),
+        )
+        assert out.size == 0 and seg.size == 0
+
+    def test_changed_mask_flags_content_and_size(self):
+        old_vals = np.array([1, 2, 5], dtype=np.int64)
+        old_ptr = np.array([0, 2, 3], dtype=np.int64)
+        same = _changed_mask(old_vals, old_ptr, old_vals.copy(), old_ptr.copy(), 2)
+        assert not same.any()
+        # Same sizes, different content in vertex 1.
+        new_vals = np.array([1, 2, 4], dtype=np.int64)
+        changed = _changed_mask(old_vals, old_ptr, new_vals, old_ptr, 2)
+        assert changed.tolist() == [False, True]
+        # Different size in vertex 0.
+        grown = _changed_mask(
+            old_vals, old_ptr,
+            np.array([0, 1, 2, 5], dtype=np.int64),
+            np.array([0, 3, 4], dtype=np.int64),
+            2,
+        )
+        assert grown.tolist() == [True, False]
+
+    def test_ball_groups_exact(self):
+        # Vertices 0 and 2 share a ball; 1 is alone; identical grouping
+        # must be exact, not hash-approximate.
+        vals = np.array([0, 3, 1, 0, 3], dtype=np.int64)
+        ptr = np.array([0, 2, 3, 5], dtype=np.int64)
+        gid, rep, m = _ball_groups(vals, ptr, 3)
+        assert m == 2
+        assert gid[0] == gid[2] != gid[1]
+        for v in range(3):
+            r = int(rep[gid[v]])
+            assert vals[ptr[r]:ptr[r + 1]].tolist() == vals[ptr[v]:ptr[v + 1]].tolist()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            gen.gnm_random(120, 360, seed=1),
+            gen.planted_components(100, 5, seed=2),
+            gen.path_graph(90),
+            gen.cycle_graph(64),
+            gen.star_graph(80),
+            gen.binary_tree(70),
+        ],
+        ids=["gnm", "planted", "path", "cycle", "star", "tree"],
+    )
+    @pytest.mark.parametrize("space_bound", [None, 6], ids=["dense", "sparse"])
+    def test_labels_match_reference(self, g, space_bound):
+        _, res = run(g, space_bound=space_bound)
+        assert res.converged
+        assert np.array_equal(res.labels, ref.connected_components(g))
+        assert res.n_components == ref.count_components(g)
+
+    def test_labels_are_component_minima(self):
+        g = gen.planted_components(80, 4, seed=3)
+        _, res = run(g)
+        expected = ref.connected_components(g)
+        for comp in np.unique(expected):
+            members = np.nonzero(expected == comp)[0]
+            assert np.all(res.labels[members] == members.min())
+
+    def test_edgeless_graph_is_one_iteration(self):
+        g = gen.disjoint_union([gen.path_graph(1) for _ in range(5)])
+        _, res = run(g, k=4)
+        assert res.converged
+        assert res.n_components == 5
+        assert res.doubling_rounds == 1  # first sweep already a fixpoint
+
+    def test_two_vertices(self):
+        _, res = run(gen.path_graph(2), k=2)
+        assert res.n_components == 1 and res.converged
+
+    @pytest.mark.parametrize("k", [2, 3, 8])
+    def test_various_k(self, k):
+        g = gen.gnm_random(100, 300, seed=4)
+        _, res = run(g, k=k)
+        assert np.array_equal(res.labels, ref.connected_components(g))
+
+    def test_dense_and_sparse_regimes_agree(self):
+        # space_bound >= n takes the matmul path, < n the CSR path; at
+        # the boundary they must compute identical labels (truncation at
+        # s = n-1 can only slow convergence, never change the fixpoint).
+        g = gen.gnm_random(60, 140, seed=6)
+        _, dense = run(g, space_bound=None)
+        _, big = run(g, space_bound=10 * g.n)  # clamped to n -> dense path
+        _, sparse = run(g, space_bound=g.n - 1)
+        assert np.array_equal(dense.labels, sparse.labels)
+        assert np.array_equal(dense.labels, big.labels)
+        assert dense.space_bound == big.space_bound == g.n
+        assert sparse.space_bound == g.n - 1
+
+    def test_seed_does_not_change_anything(self):
+        g = gen.gnm_random(80, 200, seed=7)
+        cl_a = KMachineCluster.create(g, k=4, seed=3)
+        cl_b = KMachineCluster.create(g, k=4, seed=3)
+        a = logdiam_connectivity(cl_a, seed=0)
+        b = logdiam_connectivity(cl_b, seed=999)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.rounds == b.rounds and a.doubling_rounds == b.doubling_rounds
+
+
+class TestComplexityShape:
+    @pytest.mark.parametrize("n", [16, 64, 257])
+    def test_doubling_rounds_log_in_diameter_on_paths(self, n):
+        # The headline property: D = n-1, untruncated exponentiation
+        # converges in ceil(log2 D) + O(1) doubling rounds (the +O(1) is
+        # the no-change detection round plus boundary slack).
+        _, res = run(gen.path_graph(n), k=4)
+        assert res.converged
+        bound = math.ceil(math.log2(n - 1)) + 3
+        assert res.doubling_rounds <= bound, (
+            f"path n={n}: {res.doubling_rounds} doubling rounds > {bound}"
+        )
+        assert np.all(res.labels == 0)
+
+    def test_truncation_preserves_convergence_and_cuts_volume(self):
+        # A tight ball bound must still converge (the flooding floor plus
+        # min-id doubling: the smallest known id survives every
+        # truncation, so its reach still doubles) — never faster than the
+        # unbounded run, and at a fraction of the shipped bits.
+        g = gen.path_graph(120)
+        cl_u, unbounded = run(g)
+        cl_t, truncated = run(g, space_bound=2)
+        assert truncated.converged
+        assert np.array_equal(truncated.labels, unbounded.labels)
+        assert truncated.doubling_rounds >= unbounded.doubling_rounds
+        assert cl_t.ledger.total_bits < cl_u.ledger.total_bits / 10
+
+    def test_budget_exhaustion_reported(self):
+        g = gen.path_graph(100)
+        _, res = run(g, doubling_budget=2)
+        assert res.doubling_rounds == 2
+        assert not res.converged
+
+    def test_phase_stats_track_iterations(self):
+        g = gen.gnm_random(80, 160, seed=8)
+        _, res = run(g)
+        assert len(res.phase_stats) == res.doubling_rounds
+        assert [s.iteration for s in res.phase_stats] == list(
+            range(1, res.doubling_rounds + 1)
+        )
+        assert all(s.rounds > 0 for s in res.phase_stats)
+        # The final iteration is the fixpoint detection: nothing changed.
+        assert res.phase_stats[-1].balls_changed == 0
+        # Ball growth is monotone until saturation.
+        assert res.phase_stats[-1].max_ball >= res.phase_stats[0].max_ball
+
+
+class TestPricing:
+    def test_rounds_equal_ledger_total(self):
+        cl, res = run(gen.gnm_random(60, 150, seed=9))
+        assert res.rounds == cl.ledger.total_rounds
+        assert res.rounds > 0
+
+    def test_ledger_groups_under_logdiam(self):
+        cl, _ = run(gen.path_graph(40))
+        groups = cl.ledger.breakdown()
+        assert set(groups) == {"logdiam"}
+
+    def test_every_iteration_charges_exchange_and_termination(self):
+        cl, res = run(gen.path_graph(30))
+        labels = [e.label for e in cl.ledger.steps]
+        for t in range(1, res.doubling_rounds + 1):
+            assert f"logdiam:exchange-{t}" in labels
+            assert f"logdiam:termination-{t}" in labels
+            assert f"logdiam:termination-bcast-{t}" in labels
+
+    def test_smaller_space_bound_ships_fewer_bits_per_round(self):
+        g = gen.gnm_random(100, 400, seed=10)
+        cl_wide, wide = run(g)
+        cl_narrow, narrow = run(g, space_bound=2)
+        wide_per = cl_wide.ledger.total_bits / wide.doubling_rounds
+        narrow_per = cl_narrow.ledger.total_bits / narrow.doubling_rounds
+        assert narrow_per < wide_per
+
+
+class TestValidation:
+    def test_bad_space_bound(self):
+        g = gen.path_graph(10)
+        cl = KMachineCluster.create(g, k=2, seed=0)
+        with pytest.raises(ValueError, match="space_bound"):
+            logdiam_connectivity(cl, space_bound=0)
+
+    def test_bad_budget(self):
+        g = gen.path_graph(10)
+        cl = KMachineCluster.create(g, k=2, seed=0)
+        with pytest.raises(ValueError, match="doubling_budget"):
+            logdiam_connectivity(cl, doubling_budget=0)

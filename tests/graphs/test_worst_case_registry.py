@@ -1,0 +1,106 @@
+"""The worst-case family registry contract: seeds, determinism, scale.
+
+The ISSUE-8 sweep: the old registry stored bare lambdas that silently
+discarded ``seed``, so "this family is seed-stable" was an accident of
+implementation rather than a stated contract.  :class:`WorstCaseFamily`
+makes it explicit — ``seeded=False`` entries normalize every seed to 0
+before calling the builder — and these tests pin the three guarantees
+every consumer (the differential grids, the scenario registry, the
+crossover bench) leans on:
+
+* byte-determinism: same ``(family, n, seed)`` -> identical arrays;
+* seed-stability: unseeded families ignore the seed *by construction*;
+* requested scale: vertex counts track ``n`` monotonically and stay
+  within the family's rounding granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.generators import WORST_CASE_FAMILIES, WorstCaseFamily, worst_case_graph
+
+FAMILIES = tuple(sorted(WORST_CASE_FAMILIES))
+
+
+def _edge_bytes(g) -> tuple[bytes, bytes, int]:
+    return g.edges_u.tobytes(), g.edges_v.tobytes(), g.n
+
+
+class TestRegistryShape:
+    def test_registry_keys_match_entry_names(self):
+        for name, entry in WORST_CASE_FAMILIES.items():
+            assert isinstance(entry, WorstCaseFamily)
+            assert entry.name == name
+            assert entry.summary, f"{name} needs a human-readable summary"
+
+    def test_exactly_one_seeded_family(self):
+        # The contract the differential suites encode: only the expander
+        # construction draws randomness.  Adding a seeded family is fine,
+        # but must be a conscious change here too.
+        seeded = {name for name, e in WORST_CASE_FAMILIES.items() if e.seeded}
+        assert seeded == {"expander_bridge"}
+
+    def test_unknown_family_lists_available_names(self):
+        with pytest.raises(KeyError, match="lollipop"):
+            worst_case_graph("moebius", 40)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_same_inputs_same_bytes(self, family, seed):
+        a = worst_case_graph(family, 60, seed=seed)
+        b = worst_case_graph(family, 60, seed=seed)
+        assert _edge_bytes(a) == _edge_bytes(b)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_dispatch_matches_entry_build(self, family):
+        entry = WORST_CASE_FAMILIES[family]
+        assert _edge_bytes(worst_case_graph(family, 48, seed=5)) == _edge_bytes(
+            entry.build(48, seed=5)
+        )
+
+
+class TestSeedContract:
+    @pytest.mark.parametrize(
+        "family", [f for f in FAMILIES if not WORST_CASE_FAMILIES[f].seeded]
+    )
+    def test_unseeded_families_ignore_the_seed(self, family):
+        baseline = _edge_bytes(worst_case_graph(family, 60, seed=0))
+        for seed in (1, 9, 12345):
+            assert _edge_bytes(worst_case_graph(family, 60, seed=seed)) == baseline
+
+    def test_seeded_family_consumes_the_seed(self):
+        a = worst_case_graph("expander_bridge", 60, seed=0)
+        b = worst_case_graph("expander_bridge", 60, seed=9)
+        assert _edge_bytes(a) != _edge_bytes(b)
+        # ... but stays structurally an expander pair: same vertex count.
+        assert a.n == b.n
+
+
+class TestRequestedScale:
+    #: Requested sizes; builders round to their own granularity (clique
+    #: splits, path arm counts) but must track the request monotonically.
+    LADDER = (12, 24, 40, 60, 100, 137, 200)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_vertex_count_monotone_and_near_request(self, family):
+        sizes = [worst_case_graph(family, n, seed=3).n for n in self.LADDER]
+        assert all(a <= b for a, b in zip(sizes, sizes[1:])), (
+            f"{family} vertex counts not monotone over {self.LADDER}: {sizes}"
+        )
+        for n, got in zip(self.LADDER, sizes):
+            assert n // 2 <= got <= n, (
+                f"{family} at requested n={n} produced {got} vertices"
+            )
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_edges_are_valid(self, family):
+        g = worst_case_graph(family, 60, seed=1)
+        if g.edges_u.size:
+            assert int(g.edges_u.min()) >= 0 and int(g.edges_v.min()) >= 0
+            assert int(g.edges_u.max()) < g.n and int(g.edges_v.max()) < g.n
+            assert not np.any(g.edges_u == g.edges_v), f"{family} has self-loops"

@@ -41,6 +41,29 @@ def test_run_param_passthrough(capsys):
     assert "answer" in capsys.readouterr().out
 
 
+def test_run_logdiam_with_knobs(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    code = main(
+        [
+            "run", "connectivity_logdiam", "--n", "80", "--k", "4",
+            "--graph", "lollipop", "--space-bound", "8",
+            "--doubling-budget", "50", "--json", str(path),
+        ]
+    )
+    assert code == 0
+    report = RunReport.from_json(path.read_text())
+    assert report.algorithm == "connectivity_logdiam"
+    assert report.result["space_bound"] == 8
+    assert report.result["converged"]
+    assert report.config["logdiam"] == {"space_bound": 8, "doubling_budget": 50}
+
+
+def test_run_logdiam_knobs_rejected_elsewhere(capsys):
+    code = main(["run", "connectivity", "--n", "60", "--k", "4", "--space-bound", "8"])
+    assert code == 2
+    assert "logdiam" in capsys.readouterr().err
+
+
 def test_run_unknown_algorithm_fails_cleanly(capsys):
     assert main(["run", "nope", "--n", "50"]) == 2
     assert "available" in capsys.readouterr().err

@@ -68,6 +68,26 @@ def test_serve_then_loadgen_then_shutdown(tmp_path, capsys):
     assert "coalescing:" in out
 
 
+def test_loadgen_max_inflight_is_a_cli_knob(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["loadgen", "--help"])
+    assert exc.value.code == 0
+    assert "--max-inflight" in capsys.readouterr().out
+    # A 1-wide gate at an instantaneous schedule: the drive still serves
+    # everything and reports the honest (scheduled-arrival) queue wait.
+    code = main(
+        [
+            "loadgen", "--spawn", "--requests", "6", "--mode", "open",
+            "--rate", "50000", "--max-inflight", "1",
+            "--mix-seed", "3", "--ns", "48,64",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "6/6 ok" in out
+    assert "queue wait (open-loop, scheduled-arrival basis)" in out
+
+
 def test_loadgen_connection_refused_fails_cleanly(capsys):
     code = main(
         ["loadgen", "--host", "127.0.0.1", "--port", "1", "--requests", "2",

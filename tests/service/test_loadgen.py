@@ -63,6 +63,10 @@ def test_mixspec_validation(bad):
         dict(requests=0),
         dict(clients=0),
         dict(mode="open", rate=0.0),
+        dict(max_inflight=0),
+        dict(max_inflight=-4),
+        dict(max_inflight=2.5),
+        dict(max_inflight="lots"),
     ],
 )
 def test_options_validation(bad):
@@ -126,5 +130,82 @@ def test_result_to_dict_separates_advisory_fields():
     data = result.to_dict()
     gated = result.deterministic_metrics()
     assert set(gated) <= set(data)
-    for advisory in ("wall_s", "throughput_rps", "latency_s", "inflight_coalesced"):
+    for advisory in (
+        "wall_s", "throughput_rps", "latency_s", "inflight_coalesced", "queue_wait_s"
+    ):
         assert advisory in data and advisory not in gated
+
+
+def test_deterministic_metrics_keys_are_pinned():
+    # The exact set BENCH_service_* perf-gates byte-for-byte.  Timing
+    # channels (latency basis, queue wait) must never leak in here — the
+    # coordinated-omission fix changed *advisory* numbers only.
+    assert set(_drive().deterministic_metrics()) == {
+        "requests", "reports_served", "errors", "distinct_keys",
+        "repeat_requests", "coalesce_hits", "cluster_builds",
+        "cluster_evictions", "graph_hits", "graph_misses",
+        "total_rounds", "total_bits", "envelope_sha256",
+    }
+
+
+class TestCoordinatedOmission:
+    """Open-loop latency must be measured from the *scheduled* arrival.
+
+    The regression these tests pin: latency used to be stamped after the
+    inflight gate, so an overloaded server reported the (short) service
+    time while requests sat queued — coordinated omission, optimistic
+    percentiles exactly when the overload probe matters.
+    """
+
+    def _overload(self):
+        # Arrival schedule ~instantaneous (rate >> capacity) with a
+        # 1-wide gate: requests are forced to queue behind each other.
+        options = LoadgenOptions(
+            mode="open", rate=50_000.0, max_inflight=1,
+            requests=10, clients=1, mix=_SMALL, mix_seed=5,
+        )
+        return asyncio.run(run_with_local_service(options, workers=1))
+
+    def test_overload_latency_is_dominated_by_queue_wait(self):
+        result = self._overload()
+        assert result.ok == 10
+        lat, queue = result.latency_s, result.queue_wait_s
+        assert queue, "open mode must populate the queue-wait channel"
+        # Mean service share is tiny: with N requests through a 1-wide
+        # gate, request i waits ~i service times, so queue/latency tends
+        # to (N-1)/(N+1).  Post-gate measurement would report the
+        # complement — the regression this guards against.
+        assert queue["mean"] > 0.5 * lat["mean"]
+        service_mean = lat["mean"] - queue["mean"]
+        assert lat["mean"] > 3.0 * service_mean
+        # Percentile channels are internally consistent.
+        assert queue["p50"] <= queue["p90"] <= queue["p99"] <= queue["max"]
+        assert queue["max"] <= lat["max"]
+
+    def test_overload_does_not_change_gated_metrics(self):
+        # The schedule basis is advisory-only: the same mix driven
+        # closed-loop serves byte-identical envelopes.
+        overloaded = self._overload()
+        closed = asyncio.run(
+            run_with_local_service(
+                LoadgenOptions(requests=10, clients=1, mix=_SMALL, mix_seed=5),
+                workers=1,
+            )
+        )
+        assert overloaded.envelope_sha256 == closed.envelope_sha256
+        assert (
+            overloaded.deterministic_metrics() == closed.deterministic_metrics()
+        )
+
+    def test_closed_mode_has_no_queue_channel(self):
+        result = _drive()
+        assert result.queue_wait_s == {}
+        assert "queue wait" not in result.summary()
+
+    def test_open_mode_summary_reports_queue_wait(self):
+        result = self._overload()
+        assert "queue wait (open-loop, scheduled-arrival basis)" in result.summary()
+
+    def test_max_inflight_one_still_serves_everything(self):
+        result = self._overload()
+        assert result.ok == 10 and result.errors == 0
