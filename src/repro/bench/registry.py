@@ -91,6 +91,7 @@ BENCH_GROUPS = (
     "lowerbound",
     "scenario",
     "service",
+    "corpus",
 )
 
 

@@ -8,6 +8,7 @@ import the rest of the package freely.
 
 import repro.bench.suites.ablations  # noqa: F401
 import repro.bench.suites.baselines  # noqa: F401
+import repro.bench.suites.corpus  # noqa: F401
 import repro.bench.suites.crossover  # noqa: F401
 import repro.bench.suites.dynamic  # noqa: F401
 import repro.bench.suites.lowerbound  # noqa: F401

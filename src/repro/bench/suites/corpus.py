@@ -1,0 +1,80 @@
+"""Corpus-driven benchmark: materialized memory-mapped inputs end to end.
+
+One grid (``corpus_inputs``) exercises the full corpus pipeline per cell:
+materialize the family through :class:`~repro.corpus.manager.CorpusManager`
+(content-addressed npz + manifest), load it back **memory-mapped**, run
+the algorithm through a :class:`Session`, and gate that the served report
+is byte-identical to the same family built in memory — the acceptance
+contract of the corpus layer, kept under the perf gate so a regression in
+the zero-copy load path (extra copies, CSR drift, digest changes) shows
+up as a metric diff, not just a slow run.
+
+All metrics are deterministic in (cell, seed): the cost vocabulary comes
+from :func:`~repro.bench.runner.metrics_from_report` on the mmap-served
+run, plus the identity flag and the entry's size facts.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+from repro.bench.registry import register_benchmark
+from repro.bench.suites.common import session_for
+from repro.bench.runner import metrics_from_report
+from repro.corpus.families import get_family
+from repro.corpus.manager import CorpusManager
+
+#: One corpus root per process: cells share materialized entries the way
+#: real consumers share a corpus directory, and re-generation is the
+#: manager's idempotence fast-path rather than repeated work.
+_ROOT: str | None = None
+
+
+def _manager() -> CorpusManager:
+    global _ROOT
+    if _ROOT is None:
+        _ROOT = tempfile.mkdtemp(prefix="repro-bench-corpus-")
+    return CorpusManager(_ROOT)
+
+
+@register_benchmark(
+    "corpus_inputs",
+    title="Corpus pipeline: mmap-served inputs match in-memory builds",
+    group="corpus",
+    cells=[
+        {"family": "gnm", "params": {"n": 2048, "m": 6144}, "algorithm": "connectivity", "k": 8},
+        {"family": "gnm", "params": {"n": 2048, "m": 6144, "weighted": True}, "algorithm": "mst", "k": 8},
+        {"family": "expander_bridge", "params": {"n": 1024}, "algorithm": "connectivity", "k": 8},
+        {"family": "planted_cut", "params": {"n": 1024, "cut_size": 3}, "algorithm": "connectivity", "k": 8},
+        {"family": "lower_bound", "params": {"bits": 256}, "algorithm": "connectivity", "k": 8},
+    ],
+    quick_cells=[
+        {"family": "gnm", "params": {"n": 512, "m": 1536}, "algorithm": "connectivity", "k": 4},
+        {"family": "gnm", "params": {"n": 512, "m": 1536, "weighted": True}, "algorithm": "mst", "k": 4},
+        {"family": "expander_bridge", "params": {"n": 384}, "algorithm": "connectivity", "k": 4},
+    ],
+    seed=0,
+)
+def _corpus_inputs(cell: dict, seed: int) -> dict:
+    family = get_family(cell["family"])
+    manager = _manager()
+    entry = manager.generate(family, cell["params"], seed)
+
+    mapped = manager.load(entry.entry_id)
+    with session_for(mapped, seed=seed, k=cell["k"]) as session:
+        served = session.run(cell["algorithm"])
+
+    in_memory = family.generate(cell["params"], seed)
+    with session_for(in_memory, seed=seed, k=cell["k"]) as session:
+        reference = session.run(cell["algorithm"])
+
+    identical = json.dumps(
+        served.to_dict(include_timing=False), sort_keys=True
+    ) == json.dumps(reference.to_dict(include_timing=False), sort_keys=True)
+    return metrics_from_report(
+        served,
+        byte_identical=int(identical),
+        corpus_n=entry.n,
+        corpus_m=entry.m,
+    )

@@ -19,6 +19,11 @@ Subcommands
 * ``repro loadgen`` — drive a seeded deterministic request mix at a
   running server (or ``--spawn`` one in-process) and report latency
   percentiles plus coalescing hit rates.
+* ``repro corpus list|gen|verify|info`` — the deterministic input corpus
+  (docs/corpus.md): self-describing generator specs, materialization to
+  memory-mapped npz entries, and digest/regeneration verification.
+  ``repro run <alg> --corpus <entry>`` feeds a materialized entry to any
+  algorithm.
 
 Exit codes: 0 success; 1 domain failure (a verification answered False, a
 perf gate regressed); 2 usage error (unknown name, invalid config).
@@ -36,6 +41,9 @@ Examples::
     python -m repro bench compare . fresh-artifacts/ --wall-tolerance 1.0
     python -m repro serve --port 8642 --workers 2
     python -m repro loadgen --spawn --requests 40 --clients 4 --mix-seed 7
+    python -m repro corpus gen "gnm n=4096 m=12288 weighted=true" --seed 3
+    python -m repro corpus verify
+    python -m repro run mst --corpus "gnm/d6b1429151d9_3"
 """
 
 from __future__ import annotations
@@ -82,9 +90,6 @@ GRAPH_KINDS = (
     "star_of_paths",
 )
 
-#: Families routed through the worst-case registry in graphs.generators.
-_WORST_CASE_KINDS = ("lollipop", "barbell", "expander_bridge", "disjoint_cliques", "star_of_paths")
-
 
 def _scenario_of(args: argparse.Namespace):
     """The resolved --scenario (or None), via the scenario registry."""
@@ -96,41 +101,48 @@ def _scenario_of(args: argparse.Namespace):
     return get_scenario(name)
 
 
+def _corpus_params(args: argparse.Namespace, kind: str, n: int) -> dict:
+    """Map the flat CLI knobs onto a corpus family's declared parameters.
+
+    One dict per family — this is the single remaining piece of per-family
+    CLI knowledge; the builders themselves live behind the
+    :data:`~repro.corpus.families.CORPUS_FAMILIES` registry.
+    """
+    if kind == "gnm":
+        return {"n": n, "m": int(args.m if args.m is not None else 3 * n)}
+    if kind == "grid":
+        side = max(2, int(round(n**0.5)))
+        return {"rows": side, "cols": side}
+    if kind == "powerlaw":
+        return {"n": n, "attach": 2}
+    if kind == "geometric":
+        return {"n": n, "radius": float(args.radius)}
+    return {"n": n}
+
+
 def _build_graph(args: argparse.Namespace, seed: int, *, n: int | None = None) -> Graph:
     """Build the input graph named by ``--graph`` (size overridable for sweeps).
 
     With ``--scenario`` and no explicit ``--graph``, the scenario's graph
-    family wins (an explicit ``--graph`` overrides it).
+    family wins (an explicit ``--graph`` overrides it).  Every named kind
+    dispatches through the corpus family registry
+    (:data:`~repro.corpus.families.CORPUS_FAMILIES`), so CLI inputs obey
+    the same generator contract ``repro corpus`` materializes; weights are
+    overlaid here with the historical graph-seed semantics (the run seed
+    salts weights even on unseeded shape families).
     """
+    from repro.corpus.families import get_family
+
     n = int(args.n if n is None else n)
     kind = args.graph
     gseed = args.graph_seed if args.graph_seed is not None else seed
     scenario = _scenario_of(args)
     if scenario is not None and kind is None:
-        kind = "scenario"
-    kind = "gnm" if kind is None else kind
-    if kind == "scenario":
         g = scenario.make_graph(n, gseed)
-    elif kind == "gnm":
-        m = args.m if args.m is not None else 3 * n
-        g = generators.gnm_random(n, int(m), seed=gseed)
-    elif kind == "path":
-        g = generators.path_graph(n)
-    elif kind == "cycle":
-        g = generators.cycle_graph(n)
-    elif kind == "star":
-        g = generators.star_graph(n)
-    elif kind == "grid":
-        side = max(2, int(round(n**0.5)))
-        g = generators.grid2d(side, side)
-    elif kind == "powerlaw":
-        g = generators.powerlaw_preferential(n, attach=2, seed=gseed)
-    elif kind == "geometric":
-        g = generators.random_geometric(n, radius=args.radius, seed=gseed)
-    elif kind in _WORST_CASE_KINDS:
-        g = generators.worst_case_graph(kind, n, seed=gseed)
-    else:  # pragma: no cover - argparse choices guard this
-        raise ValueError(f"unknown graph kind {kind!r}")
+    else:
+        kind = "gnm" if kind is None else kind
+        family = get_family(kind)
+        g = family.generate(_corpus_params(args, kind, n), seed=gseed)
     params = dict(args.param or [])
     needs_weights = (
         args.weighted
@@ -199,6 +211,19 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
         help="run under a registered adversarial scenario (see 'repro scenarios list'): "
         "applies its partition scheme and fault plan, and supplies the input "
         "graph unless --graph is given",
+    )
+    graph.add_argument(
+        "--corpus",
+        default=None,
+        metavar="ENTRY",
+        help="run on a materialized corpus entry id (see 'repro corpus list "
+        "--entries'); wins over --graph/--scenario input and ignores --n",
+    )
+    graph.add_argument(
+        "--corpus-root",
+        default=None,
+        metavar="DIR",
+        help="corpus directory (default: $REPRO_CORPUS_DIR or ./corpus)",
     )
     graph.add_argument("--n", type=int, default=1000, help="vertices (default 1000)")
     graph.add_argument("--m", type=int, default=None, help="edges for gnm (default 3n)")
@@ -284,10 +309,33 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _corpus_graph(args: argparse.Namespace) -> Graph:
+    """Load ``--corpus ENTRY`` memory-mapped, enforcing weight requirements."""
+    from repro.corpus.manager import CorpusManager
+
+    manager = CorpusManager(args.corpus_root)
+    graph = manager.load(args.corpus)
+    params = dict(args.param or [])
+    needs_weights = (
+        args.weighted
+        or get_algorithm(args.algorithm).requires_weights
+        or bool(params.get("mst"))
+    )
+    if needs_weights and not graph.weighted:
+        raise ValueError(
+            f"corpus entry {args.corpus!r} is unweighted but this run needs "
+            "weights; materialize a weighted=true cell instead"
+        )
+    return graph
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     seed = resolve_seed(None, config.seed)
-    graph = _build_graph(args, seed)
+    if args.corpus is not None:
+        graph = _corpus_graph(args)
+    else:
+        graph = _build_graph(args, seed)
     report = Session(graph, config=config).run(args.algorithm)
     print(report.summary())
     if args.json:
@@ -304,7 +352,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     seed = resolve_seed(None, config.seed)
     session = Session(config=config)
-    if args.ns:
+    if args.corpus is not None:
+        if args.ns:
+            raise ValueError("--corpus pins one input; it cannot sweep --ns")
+        reports = session.sweep(
+            args.algorithm,
+            seeds=args.seeds,
+            ks=args.ks,
+            graph=_corpus_graph(args),
+            processes=args.processes,
+        )
+    elif args.ns:
         reports = session.sweep(
             args.algorithm,
             seeds=args.seeds,
@@ -358,9 +416,80 @@ def _cmd_scenarios_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus_list(args: argparse.Namespace) -> int:
+    from repro.corpus import CORPUS_FAMILIES, CorpusManager
+
+    if args.entries:
+        manager = CorpusManager(args.root)
+        entries = manager.entries()
+        for entry in entries:
+            weights = "weighted" if entry.weighted else "unweighted"
+            print(f"{entry.entry_id}  n={entry.n} m={entry.m} {weights}  {entry.describe()}")
+        if not entries:
+            print(f"(no materialized entries under {manager.root})")
+        return 0
+    for name in sorted(CORPUS_FAMILIES):
+        fam = CORPUS_FAMILIES[name]
+        print(fam.describe())
+        if args.verbose:
+            print(f"    {fam.summary}; default grid: {len(fam.grid) or 1} cell(s)")
+    return 0
+
+
+def _cmd_corpus_gen(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusManager, parse_spec
+
+    manager = CorpusManager(args.root)
+    if args.specs:
+        entries = []
+        for spec in args.specs:
+            family, params = parse_spec(spec)
+            for seed in args.seeds if args.seeds is not None else [0]:
+                entries.append(manager.generate(family, params, seed, force=args.force))
+    else:
+        entries = []
+        for seed in args.seeds if args.seeds is not None else [0]:
+            entries.extend(manager.generate_grid(seed=seed))
+    for entry in entries:
+        print(f"{entry.entry_id}  n={entry.n} m={entry.m} digest={entry.digest[:12]}")
+    print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'} under {manager.root}")
+    return 0
+
+
+def _cmd_corpus_verify(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusManager
+
+    manager = CorpusManager(args.root)
+    checked = failed = 0
+    for entry_id, error in manager.verify_all(regenerate=not args.no_regenerate):
+        checked += 1
+        if error is None:
+            print(f"ok    {entry_id}")
+        else:
+            failed += 1
+            print(f"FAIL  {error}")
+    if checked == 0:
+        print(f"error: no corpus entries under {manager.root}", file=sys.stderr)
+        return 2
+    if failed:
+        print(f"CORPUS VERIFY FAILED: {failed}/{checked} entries")
+        return 1
+    print(f"corpus ok: {checked} entries verified")
+    return 0
+
+
+def _cmd_corpus_info(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusManager
+
+    manager = CorpusManager(args.root)
+    print(json.dumps(manager.info(args.entry), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.corpus.manager import CorpusManager
     from repro.service.server import GraphService
 
     async def _amain() -> int:
@@ -369,6 +498,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_clusters=args.max_clusters,
             graph_cache_size=args.graph_cache,
             max_requests=args.max_requests,
+            corpus=CorpusManager(args.corpus_root),
         )
         host, port = await service.start(args.host, args.port)
         print(
@@ -608,6 +738,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the bound 'host port' to PATH once listening "
         "(for wrappers using --port 0)",
     )
+    p_serve.add_argument(
+        "--corpus-root",
+        default=None,
+        metavar="DIR",
+        help="corpus directory for corpus-entry requests "
+        "(default: $REPRO_CORPUS_DIR or ./corpus); shared across workers",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_load = sub.add_parser(
@@ -691,6 +828,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the drive accounting JSON ('-' for stdout)"
     )
     p_load.set_defaults(func=_cmd_loadgen)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="deterministic input corpus (list/gen/verify/info)"
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command", required=True)
+
+    pc_list = corpus_sub.add_parser(
+        "list", help="list family specs (or materialized entries with --entries)"
+    )
+    pc_list.add_argument(
+        "--entries", action="store_true", help="list materialized entries instead"
+    )
+    pc_list.add_argument(
+        "--verbose", action="store_true", help="include family summaries and grid sizes"
+    )
+    pc_list.add_argument("--root", default=None, metavar="DIR", help="corpus directory")
+    pc_list.set_defaults(func=_cmd_corpus_list)
+
+    pc_gen = corpus_sub.add_parser(
+        "gen", help="materialize corpus entries (default: every family's grid)"
+    )
+    pc_gen.add_argument(
+        "specs",
+        nargs="*",
+        metavar="SPEC",
+        help="family specs like 'gnm n=4096 m=12288 weighted=true' "
+        "(exactly the 'corpus list' output format); none = all default grids",
+    )
+    pc_gen.add_argument(
+        "--seeds", type=_int_list, default=None, metavar="S,S", help="seeds (default 0)"
+    )
+    pc_gen.add_argument(
+        "--force", action="store_true", help="regenerate entries that already exist"
+    )
+    pc_gen.add_argument("--root", default=None, metavar="DIR", help="corpus directory")
+    pc_gen.set_defaults(func=_cmd_corpus_gen)
+
+    pc_verify = corpus_sub.add_parser(
+        "verify", help="re-digest and regenerate every entry; fail on drift"
+    )
+    pc_verify.add_argument(
+        "--no-regenerate",
+        action="store_true",
+        help="only re-digest stored arrays (skip the generator-drift gate)",
+    )
+    pc_verify.add_argument("--root", default=None, metavar="DIR", help="corpus directory")
+    pc_verify.set_defaults(func=_cmd_corpus_verify)
+
+    pc_info = corpus_sub.add_parser("info", help="print one entry's manifest JSON")
+    pc_info.add_argument("entry", help="entry id, e.g. gnm/d6b1429151d9_0")
+    pc_info.add_argument("--root", default=None, metavar="DIR", help="corpus directory")
+    pc_info.set_defaults(func=_cmd_corpus_info)
 
     p_bench = sub.add_parser("bench", help="benchmark subsystem (list/run/compare)")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)

@@ -93,7 +93,9 @@ class Session:
     Parameters
     ----------
     graph:
-        Default input graph; individual calls may override it.
+        Default input graph; individual calls may override it.  A string
+        ``"corpus:<entry-id>"`` names a materialized corpus entry, resolved
+        (memory-mapped) through the session's corpus manager.
     config:
         Default :class:`RunConfig`; individual calls may override it.  The
         session never mutates it.
@@ -103,17 +105,25 @@ class Session:
     max_clusters:
         Alias for ``cache_size`` (wins when both are given) — the name the
         service layer exposes; the default preserves the historical bound.
+    corpus:
+        Optional :class:`~repro.corpus.manager.CorpusManager` used to
+        resolve ``corpus:`` graph identities.  Omitted, one is created on
+        first use at the default root; *sharing* one manager across
+        sessions (as the service does across its workers) makes their
+        loads coalesce onto a single mmap open.
     """
 
     def __init__(
         self,
-        graph: Graph | None = None,
+        graph: "Graph | str | None" = None,
         *,
         config: RunConfig | None = None,
         cache_size: int = 32,
         max_clusters: int | None = None,
+        corpus=None,
     ) -> None:
-        self.graph = graph
+        self._corpus = corpus
+        self.graph = self.resolve_graph(graph)
         self.config = (config if config is not None else RunConfig()).validate()
         self.cache_size = max(1, int(cache_size if max_clusters is None else max_clusters))
         # key -> (graph ref, cluster); the graph ref keeps id(graph) stable.
@@ -125,6 +135,35 @@ class Session:
         self._evictions = 0
         self._pool = None
         self._pool_width = 0
+
+    # -- corpus resolution --------------------------------------------------
+
+    @property
+    def corpus(self):
+        """The session's corpus manager, created at the default root on demand."""
+        if self._corpus is None:
+            from repro.corpus.manager import CorpusManager
+
+            self._corpus = CorpusManager()
+        return self._corpus
+
+    def resolve_graph(self, graph: "Graph | str | None") -> Graph | None:
+        """Resolve a graph argument: ``Graph``/``None`` pass through, a
+        ``"corpus:<entry-id>"`` string loads (memory-mapped, LRU-shared)
+        through the corpus manager.  The manager's LRU keeps repeated
+        resolutions of one identity on the same :class:`Graph` object, so
+        the cluster cache's ``id(graph)`` keying composes with it.
+        """
+        if graph is None or isinstance(graph, Graph):
+            return graph
+        if isinstance(graph, str):
+            prefix, sep, entry_id = graph.partition(":")
+            if prefix != "corpus" or not sep or not entry_id:
+                raise ValueError(
+                    f"string graphs must look like 'corpus:<entry-id>', got {graph!r}"
+                )
+            return self.corpus.load(entry_id)
+        raise TypeError(f"graph must be a Graph, 'corpus:<entry-id>' str or None, got {graph!r}")
 
     # -- cluster lifecycle -------------------------------------------------
 
@@ -202,15 +241,23 @@ class Session:
         return cluster
 
     def cache_info(self) -> dict:
-        """Cluster-cache counters: hits / misses / evictions / size / bound."""
+        """Cluster-cache counters: hits / misses / evictions / size / bound.
+
+        When a corpus manager is attached (or was created by a ``corpus:``
+        resolution), a ``"corpus"`` sub-dict carries its load-LRU counters
+        — the handle the service cache tests pin coalesced mmap opens on.
+        """
         with self._lock:
-            return {
+            info = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "size": len(self._clusters),
                 "max_clusters": self.cache_size,
             }
+            if self._corpus is not None:
+                info["corpus"] = self._corpus.cache_info()
+            return info
 
     def clear_cache(self) -> None:
         """Drop all cached clusters (e.g. after discarding their graphs)."""
@@ -278,7 +325,7 @@ class Session:
     def run(
         self,
         algorithm: str,
-        graph: Graph | None = None,
+        graph: "Graph | str | None" = None,
         *,
         config: RunConfig | None = None,
         seed: int | None = None,
@@ -304,7 +351,12 @@ class Session:
         scenario falls back to the session graph (or builds benign
         G(n, 3n) when there is none).  ``n`` is only meaningful when the
         scenario builds the graph; passing it otherwise raises.
+
+        ``graph`` may also be a ``"corpus:<entry-id>"`` string, resolved
+        through :meth:`resolve_graph` — it counts as an explicit graph for
+        the precedence rules above.
         """
+        graph = self.resolve_graph(graph)
         sc = self._resolve_scenario(scenario)
         if sc is None and n is not None:
             raise ValueError("n= requires scenario=; pass a sized graph instead")
@@ -340,7 +392,7 @@ class Session:
         seeds: Iterable[int] | None = None,
         ks: Iterable[int] | None = None,
         ns: Iterable[int] | None = None,
-        graph: Graph | None = None,
+        graph: "Graph | str | None" = None,
         graph_factory: Callable[[int], Graph] | None = None,
         config: RunConfig | None = None,
         processes: int | None = None,
@@ -369,7 +421,10 @@ class Session:
 
         Every grid point gets a fresh ledger; with a fixed graph the cluster
         cache is reused across seeds sharing a (k, partition seed).
+        ``graph`` accepts the same ``"corpus:<entry-id>"`` strings as
+        :meth:`run`.
         """
+        graph = self.resolve_graph(graph)
         sc = self._resolve_scenario(scenario)
         if sc is not None:
             base = config if config is not None else self.config

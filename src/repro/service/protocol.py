@@ -136,6 +136,15 @@ class RunRequest:
         same cached cluster as static traffic for the same input.
     params:
         Algorithm-specific extras, merged into ``RunConfig.params``.
+    corpus:
+        Optional corpus entry id (``<family>/<hash>_<seed>``): the input
+        comes memory-mapped from the service's shared
+        :class:`~repro.corpus.manager.CorpusManager` instead of being
+        generated per worker.  Mutually exclusive with ``family`` (the
+        entry already pins family, params and graph seed); ``n``,
+        ``seed`` and ``weighted`` keep their config roles but no longer
+        shape the input.  Excluded from :meth:`to_dict` when unset, so
+        committed envelopes predating the field stay byte-identical.
     """
 
     algorithm: str = "connectivity"
@@ -149,6 +158,7 @@ class RunRequest:
     weighted: bool = True
     updates: dict | None = None
     params: dict = field(default_factory=dict)
+    corpus: str | None = None
 
     def validate(self) -> "RunRequest":
         """Raise :class:`ProtocolError` on the first invalid field."""
@@ -185,13 +195,27 @@ class RunRequest:
                 raise ProtocolError(f"invalid update plan: {exc}") from None
         if not isinstance(self.params, dict):
             raise ProtocolError(f"params must be an object, got {type(self.params).__name__}")
+        if self.corpus is not None:
+            if not isinstance(self.corpus, str) or not self.corpus:
+                raise ProtocolError(
+                    f"corpus must be a non-empty string or null, got {self.corpus!r}"
+                )
+            if self.family is not None:
+                raise ProtocolError(
+                    "corpus and family are mutually exclusive: the corpus entry "
+                    "already pins the input family"
+                )
         return self
 
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """The request as JSON-ready data (inverse of :meth:`from_dict`)."""
-        return {
+        """The request as JSON-ready data (inverse of :meth:`from_dict`).
+
+        ``corpus`` is emitted only when set — committed envelopes from
+        before the field exists must round-trip byte-identically.
+        """
+        out = {
             "algorithm": self.algorithm,
             "family": self.family,
             "scenario": self.scenario,
@@ -204,6 +228,9 @@ class RunRequest:
             "updates": None if self.updates is None else dict(self.updates),
             "params": dict(self.params),
         }
+        if self.corpus is not None:
+            out["corpus"] = self.corpus
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunRequest":
@@ -211,7 +238,7 @@ class RunRequest:
         d = dict(data)
         unknown = set(d) - {
             "algorithm", "family", "scenario", "n", "seed", "k",
-            "scheme", "epoch", "weighted", "updates", "params",
+            "scheme", "epoch", "weighted", "updates", "params", "corpus",
         }
         if unknown:
             raise ProtocolError(f"unknown request fields: {', '.join(sorted(unknown))}")
@@ -259,8 +286,11 @@ class RunRequest:
         return base if sc is None else sc.apply(base)
 
     def family_label(self) -> str:
-        """The effective input family: an explicit ``family`` wins over the
-        scenario's (mirroring ``--graph`` vs ``--scenario`` in the CLI)."""
+        """The effective input family: a ``corpus`` entry wins over an
+        explicit ``family``, which wins over the scenario's (mirroring
+        ``--corpus`` > ``--graph`` > ``--scenario`` in the CLI)."""
+        if self.corpus is not None:
+            return f"corpus:{self.corpus}"
         if self.family is not None:
             return self.family
         if self.scenario is not None:
@@ -268,9 +298,14 @@ class RunRequest:
         return "gnm"
 
     def effective_weighted(self) -> bool:
-        """Whether the built graph carries weights (see :meth:`build_graph`)."""
+        """Whether the built graph carries weights (see :meth:`build_graph`).
+
+        For a corpus request the stored entry decides; the flag here is
+        advisory (the entry id inside :meth:`graph_key` already pins the
+        exact arrays, weights included).
+        """
         sc = self.resolved_scenario()
-        if sc is not None and self.family is None:
+        if sc is not None and self.family is None and self.corpus is None:
             return bool(sc.weighted)
         return bool(self.weighted or _requires_weights(self.algorithm))
 
@@ -298,15 +333,39 @@ class RunRequest:
             separators=(",", ":"),
         )
 
-    def build_graph(self) -> Graph:
+    def build_graph(self, corpus=None) -> Graph:
         """Build this request's input graph (deterministic in the request).
 
-        A scenario request delegates to ``Scenario.make_graph`` (so the
-        envelope matches ``Session.run(scenario=...)`` byte-for-byte); a
-        plain family uses the same ``derive_seed(seed, 0x5CE0)`` graph-seed
-        derivation, making ``family="lollipop"`` identical to an ad-hoc
+        A ``corpus`` request loads its entry memory-mapped through the
+        given :class:`~repro.corpus.manager.CorpusManager` (the service
+        threads its shared manager here); the entry must already carry
+        weights if the algorithm requires them — weights are part of the
+        materialized input, not overlaid per request.  A scenario request
+        delegates to ``Scenario.make_graph`` (so the envelope matches
+        ``Session.run(scenario=...)`` byte-for-byte); a plain family uses
+        the same ``derive_seed(seed, 0x5CE0)`` graph-seed derivation,
+        making ``family="lollipop"`` identical to an ad-hoc
         ``Scenario(family="lollipop")``.
         """
+        if self.corpus is not None:
+            if corpus is None:
+                from repro.corpus.manager import CorpusManager
+
+                corpus = CorpusManager()
+            try:
+                g = corpus.load(self.corpus)
+            except KeyError as exc:
+                raise ProtocolError(str(exc)) from None
+            # The request's `weighted` flag shapes *generated* inputs; a
+            # corpus entry is immutable, so only a hard algorithm
+            # requirement can reject it.
+            if _requires_weights(self.algorithm) and not g.weighted:
+                raise ProtocolError(
+                    f"algorithm {self.algorithm!r} requires weights but corpus "
+                    f"entry {self.corpus!r} is unweighted; materialize a "
+                    "weighted=true cell instead"
+                )
+            return g
         sc = self.resolved_scenario()
         if sc is not None and self.family is None:
             return sc.make_graph(self.n, self.seed)

@@ -50,9 +50,12 @@ class _Worker:
     the worker needs no locks of its own beyond the session's.
     """
 
-    def __init__(self, index: int, max_clusters: int, graph_cache_size: int) -> None:
+    def __init__(
+        self, index: int, max_clusters: int, graph_cache_size: int, corpus=None
+    ) -> None:
         self.index = index
-        self.session = Session(max_clusters=max_clusters)
+        self.corpus = corpus
+        self.session = Session(max_clusters=max_clusters, corpus=corpus)
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"repro-service-{index}"
         )
@@ -63,7 +66,13 @@ class _Worker:
         self.inflight: dict[str, int] = {}
 
     def _graph_for(self, spec: RunRequest):
-        """The (LRU-cached) input graph for one request."""
+        """The (LRU-cached) input graph for one request.
+
+        ``corpus`` requests additionally go through the *service-shared*
+        corpus manager, so two workers resolving one ``corpus:`` identity
+        coalesce onto a single mmap open even before their per-worker
+        LRUs warm up.
+        """
         key = spec.graph_key()
         hit = self.graphs.get(key)
         if hit is not None:
@@ -71,7 +80,7 @@ class _Worker:
             self.graphs.move_to_end(key)
             return hit
         self.graph_misses += 1
-        graph = spec.build_graph()
+        graph = spec.build_graph(corpus=self.corpus)
         self.graphs[key] = graph
         while len(self.graphs) > self.graph_cache_size:
             self.graphs.popitem(last=False)
@@ -119,6 +128,12 @@ class GraphService:
         Stop accepting after this many completed requests (``None`` =
         serve forever) — the self-terminating mode tests and smoke runs
         use instead of process management.
+    corpus:
+        Optional :class:`~repro.corpus.manager.CorpusManager` shared by
+        *all* workers: ``corpus:`` graph identities resolve through its
+        single load LRU, so same-entry requests on different workers
+        still open one mmap.  ``None`` leaves corpus requests resolving
+        through a per-call default manager.
     """
 
     def __init__(
@@ -128,11 +143,14 @@ class GraphService:
         max_clusters: int = 32,
         graph_cache_size: int = 16,
         max_requests: int | None = None,
+        corpus=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        self._corpus = corpus
         self._workers = [
-            _Worker(i, max_clusters, graph_cache_size) for i in range(int(workers))
+            _Worker(i, max_clusters, graph_cache_size, corpus)
+            for i in range(int(workers))
         ]
         self._max_requests = max_requests
         self._server: asyncio.AbstractServer | None = None
@@ -210,6 +228,7 @@ class GraphService:
                 "misses": sum(w.graph_misses for w in self._workers),
                 "size": sum(len(w.graphs) for w in self._workers),
             },
+            "corpus": None if self._corpus is None else self._corpus.cache_info(),
             "uptime_s": time.perf_counter() - self._started,
         }
 

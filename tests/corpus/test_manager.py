@@ -1,0 +1,196 @@
+"""Property tests of the corpus manifest/digest layer (ISSUE 9 satellite).
+
+Hypothesis-driven guarantees of :class:`~repro.corpus.manager.CorpusManager`:
+
+* **gen → verify is clean** — any materialized (family, params, seed)
+  cell verifies against both gates (stored digest + regeneration);
+* **corruption is caught** — flipping any single byte of the npz payload,
+  or perturbing any manifest field, fails ``verify``; unreadable framing
+  counts the same as digest drift;
+* **info is ground truth** — ``info`` fields match an independent fresh
+  generation of the cell.
+
+Plus the deterministic manager mechanics the properties lean on:
+content-addressing, idempotence, atomic manifests, and the load LRU.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.families import CORPUS_FAMILIES
+from repro.corpus.manager import (
+    CorpusManager,
+    CorpusVerifyError,
+    edge_digest,
+    entry_id_for,
+)
+
+# Small, fast cells drawn over three representative families: a seeded
+# random family, an unseeded shape, and a weighted variant.
+_CELLS = (
+    ("gnm", {"n": 40, "m": 90}),
+    ("gnm", {"n": 40, "m": 90, "weighted": True}),
+    ("path", {"n": 48}),
+    ("planted_cut", {"n": 48, "cut_size": 2, "inner_degree": 5}),
+)
+cells = st.sampled_from(_CELLS)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _gen(tmp_path, cell, seed):
+    manager = CorpusManager(tmp_path)
+    family, params = cell
+    return manager, manager.generate(family, params, seed)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(cell=cells, seed=seeds)
+def test_gen_then_verify_is_clean(tmp_path_factory, cell, seed):
+    tmp_path = tmp_path_factory.mktemp("corpus")
+    manager, entry = _gen(tmp_path, cell, seed)
+    assert manager.verify(entry.entry_id) == entry
+    results = dict(manager.verify_all())
+    assert results == {entry.entry_id: None}
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(cell=cells, seed=seeds, flip=st.data())
+def test_any_single_byte_payload_corruption_is_caught(tmp_path_factory, cell, seed, flip):
+    # "Payload" = the stored edge-array bytes, the extent the SHA-256
+    # digest covers.  Zip container slack (member timestamps, local-header
+    # name copies) is CRC/metadata territory and deliberately outside the
+    # digest's trust boundary.
+    from repro.corpus.manager import _mmap_npz_arrays
+
+    tmp_path = tmp_path_factory.mktemp("corpus")
+    manager, entry = _gen(tmp_path, cell, seed)
+    npz = manager.npz_path(entry.entry_id)
+    spans = [
+        (arr.offset, arr.offset + arr.nbytes)
+        for arr in _mmap_npz_arrays(npz).values()
+    ]
+    blob = bytearray(npz.read_bytes())
+    lo, hi = flip.draw(st.sampled_from(spans))
+    pos = flip.draw(st.integers(min_value=lo, max_value=hi - 1))
+    delta = flip.draw(st.integers(min_value=1, max_value=255))
+    blob[pos] = (blob[pos] + delta) % 256
+    npz.write_bytes(bytes(blob))
+    manager.clear_cache()
+    with pytest.raises(CorpusVerifyError):
+        manager.verify(entry.entry_id)
+    (entry_id, error), = manager.verify_all()
+    assert entry_id == entry.entry_id and error is not None
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(cell=cells, seed=seeds, which=st.sampled_from(("digest", "n", "m", "seed", "params", "weighted", "family")))
+def test_any_manifest_field_corruption_is_caught(tmp_path_factory, cell, seed, which):
+    tmp_path = tmp_path_factory.mktemp("corpus")
+    manager, entry = _gen(tmp_path, cell, seed)
+    path = manager.manifest_path(entry.entry_id)
+    manifest = json.loads(path.read_text())
+    if which == "digest":
+        manifest["digest"] = "0" * 64
+    elif which in ("n", "m", "seed"):
+        manifest[which] = int(manifest[which]) + 1
+    elif which == "params":
+        manifest["params"] = dict(manifest["params"], weighted=not manifest["params"]["weighted"])
+    elif which == "weighted":
+        manifest["weighted"] = not manifest["weighted"]
+    elif which == "family":
+        manifest["family"] = "cycle" if manifest["family"] != "cycle" else "path"
+    path.write_text(json.dumps(manifest, sort_keys=True, indent=2))
+    manager.clear_cache()
+    with pytest.raises((CorpusVerifyError, KeyError, ValueError)):
+        manager.verify(entry.entry_id)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(cell=cells, seed=seeds)
+def test_info_matches_regenerated_ground_truth(tmp_path_factory, cell, seed):
+    tmp_path = tmp_path_factory.mktemp("corpus")
+    manager, entry = _gen(tmp_path, cell, seed)
+    info = manager.info(entry.entry_id)
+    family, params = cell
+    fam = CORPUS_FAMILIES[family]
+    fresh = fam.generate(params, seed)
+    assert info["n"] == fresh.n
+    assert info["m"] == fresh.m
+    assert info["weighted"] == fresh.weighted
+    assert info["seed"] == fam.normalize_seed(seed)
+    assert info["params"] == fam.normalize(params)
+    assert info["digest"] == edge_digest(
+        fresh.edges_u, fresh.edges_v, fresh.weights if fresh.weighted else None
+    )
+    assert info["npz_bytes"] == manager.npz_path(entry.entry_id).stat().st_size
+
+
+class TestManagerMechanics:
+    def test_content_addressing_normalizes_unseeded_seeds(self, tmp_path):
+        manager = CorpusManager(tmp_path)
+        a = manager.generate("path", {"n": 32}, 0)
+        b = manager.generate("path", {"n": 32}, 99)
+        assert a.entry_id == b.entry_id
+        assert a.entry_id == entry_id_for(CORPUS_FAMILIES["path"], {"n": 32}, 99)
+        assert len(manager.entries()) == 1
+
+    def test_seeded_families_get_distinct_entries_per_seed(self, tmp_path):
+        manager = CorpusManager(tmp_path)
+        a = manager.generate("gnm", {"n": 32, "m": 64}, 0)
+        b = manager.generate("gnm", {"n": 32, "m": 64}, 1)
+        assert a.entry_id != b.entry_id
+        assert a.digest != b.digest
+
+    def test_generate_is_idempotent_without_rebuilding(self, tmp_path):
+        manager = CorpusManager(tmp_path)
+        first = manager.generate("gnm", {"n": 32, "m": 64}, 0)
+        npz = manager.npz_path(first.entry_id)
+        stamp = npz.stat().st_mtime_ns
+        again = manager.generate("gnm", {"n": 32, "m": 64}, 0)
+        assert again == first
+        assert npz.stat().st_mtime_ns == stamp
+        forced = manager.generate("gnm", {"n": 32, "m": 64}, 0, force=True)
+        assert forced == first  # regeneration is deterministic
+
+    def test_load_lru_coalesces_and_counts(self, tmp_path):
+        manager = CorpusManager(tmp_path, cache_size=1)
+        a = manager.generate("path", {"n": 24}, 0)
+        b = manager.generate("cycle", {"n": 24}, 0)
+        g1 = manager.load(a.entry_id)
+        assert manager.load(a.entry_id) is g1
+        manager.load(b.entry_id)  # evicts a
+        manager.load(a.entry_id)
+        info = manager.cache_info()
+        assert info == {
+            "hits": 1, "misses": 3, "evictions": 2, "size": 1, "max_size": 1,
+        }
+
+    def test_load_without_mmap_matches_mmap(self, tmp_path):
+        manager = CorpusManager(tmp_path)
+        entry = manager.generate("gnm", {"n": 40, "m": 90, "weighted": True}, 3)
+        mapped = manager.load(entry.entry_id, mmap=True)
+        plain = manager.load(entry.entry_id, mmap=False)
+        assert isinstance(mapped.edges_u, np.memmap)
+        assert not isinstance(plain.edges_u, np.memmap)
+        for attr in ("indptr", "indices", "edge_ids", "edges_u", "edges_v", "weights"):
+            assert getattr(mapped, attr).tobytes() == getattr(plain, attr).tobytes()
+
+    def test_missing_entry_raises_keyerror(self, tmp_path):
+        manager = CorpusManager(tmp_path)
+        with pytest.raises(KeyError, match="not found"):
+            manager.load("gnm/doesnotexist_0")
+        with pytest.raises(KeyError, match="not found"):
+            manager.info("gnm/doesnotexist_0")
+
+    def test_digest_separates_weights_from_topology(self):
+        u = np.array([0, 1], dtype=np.int64)
+        v = np.array([1, 2], dtype=np.int64)
+        w = np.array([0.5, 0.25], dtype=np.float64)
+        assert edge_digest(u, v, None) != edge_digest(u, v, w)
+        assert edge_digest(u, v, w) == edge_digest(u, v, w)

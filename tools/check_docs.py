@@ -22,7 +22,13 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_FILES = ("README.md", "DESIGN.md", "docs/live-graph.md", "docs/update-plans.md")
+DEFAULT_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "docs/live-graph.md",
+    "docs/update-plans.md",
+    "docs/corpus.md",
+)
 
 #: ``[text](target)`` — good enough for these docs (no nested brackets).
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
