@@ -1,0 +1,50 @@
+"""EXP P1 — sharded executor: weak scaling with byte-identical envelopes.
+
+Thin wrapper over the registered ``parallel_scaling`` grid (see
+``repro.bench.suites.parallel``): each (algorithm, n) pair runs at 1, 2
+and 4 shard workers.  The hard claim is worker-count *invariance* — the
+per-cell envelope SHA-256 must be identical across the worker axis of a
+pair (DESIGN.md §14.1).  The wall-clock curve is recorded but not
+asserted: on a single-core host it is honestly flat, and that is worth
+committing too.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from benchmarks._common import report, run_registered
+from repro.analysis import format_table
+
+
+def test_parallel_scaling(benchmark):
+    result = run_registered(benchmark, "parallel_scaling")
+    by_pair: dict[tuple, list] = defaultdict(list)
+    for c in result.cells:
+        by_pair[(c.params["algorithm"], c.params["n"])].append(c)
+    rows = []
+    for (algorithm, n), cells in sorted(by_pair.items()):
+        cells.sort(key=lambda c: c.params["workers"])
+        base = cells[0].wall_time_s
+        for c in cells:
+            rows.append(
+                (
+                    algorithm,
+                    n,
+                    c.params["workers"],
+                    f"{c.wall_time_s:.3f}",
+                    f"{base / max(c.wall_time_s, 1e-9):.2f}x",
+                    c.metrics["envelope_sha256"][:16],
+                )
+            )
+    table = format_table(
+        ["algorithm", "n", "workers", "wall (s)", "speedup", "envelope sha256[:16]"],
+        rows,
+        title="Sharded executor weak scaling (digests equal across workers = invariance)",
+    )
+    report("P1_parallel_scaling", table)
+    for (algorithm, n), cells in by_pair.items():
+        digests = {c.metrics["envelope_sha256"] for c in cells}
+        assert len(digests) == 1, (
+            f"{algorithm} n={n}: envelopes diverged across worker counts: {digests}"
+        )

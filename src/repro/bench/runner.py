@@ -38,14 +38,33 @@ def metrics_from_report(report: RunReport, **extra) -> dict:
     return metrics
 
 
-def _profile_cell(runner, params: dict, seed: int, top: int) -> tuple[dict, str]:
-    """Run one cell under cProfile; return (metrics, top-N report text)."""
+def _cell_slug(params: dict) -> str:
+    """Filesystem-safe identity of a grid point (sorted ``key-value`` parts)."""
+    parts = []
+    for key in sorted(params):
+        value = str(params[key]).replace("/", "-").replace(" ", "")
+        parts.append(f"{key}-{value}")
+    return "_".join(parts) or "cell"
+
+
+def _profile_cell(
+    runner, params: dict, seed: int, top: int, dump: Path | None = None
+) -> tuple[dict, str]:
+    """Run one cell under cProfile; return (metrics, top-N report text).
+
+    ``dump`` (if given) additionally writes the raw profiler stats there —
+    loadable with ``pstats.Stats(path)`` or snakeviz-style viewers; the CI
+    bench-smoke leg uploads these as artifacts.
+    """
     import cProfile
     import io
     import pstats
 
     prof = cProfile.Profile()
     metrics = prof.runcall(runner, params, seed)
+    if dump is not None:
+        dump.parent.mkdir(parents=True, exist_ok=True)
+        prof.dump_stats(dump)
     stream = io.StringIO()
     pstats.Stats(prof, stream=stream).sort_stats("cumulative").print_stats(top)
     # Keep only the table (drop pstats' preamble noise above the header).
@@ -61,6 +80,7 @@ def run_benchmark(
     seed: int | None = None,
     progress: Callable[[str], None] | None = None,
     profile_top: int | None = None,
+    profile_out: str | Path | None = None,
 ) -> BenchResult:
     """Run one registered benchmark over its ``tier`` grid.
 
@@ -71,6 +91,8 @@ def run_benchmark(
     ``progress`` (or stdout) — the ``repro bench run --profile`` path;
     recorded wall times then include profiler overhead, so profiled
     envelopes are for reading, not for committing as baselines.
+    ``profile_out`` names a directory that additionally receives the raw
+    per-cell profiler dumps as ``<bench>__<cell-slug>.prof``.
     """
     from repro.bench.environment import capture_environment
 
@@ -83,7 +105,12 @@ def run_benchmark(
     for i, params in enumerate(cells):
         t0 = time.perf_counter()
         if profile_top is not None:
-            metrics, report = _profile_cell(spec.runner, dict(params), base_seed, profile_top)
+            dump = None
+            if profile_out is not None:
+                dump = Path(profile_out) / f"{spec.name}__{_cell_slug(dict(params))}.prof"
+            metrics, report = _profile_cell(
+                spec.runner, dict(params), base_seed, profile_top, dump=dump
+            )
         else:
             metrics, report = dict(spec.runner(dict(params), base_seed)), None
         wall = time.perf_counter() - t0
@@ -154,6 +181,7 @@ def run_all(
     progress: Callable[[str], None] | None = None,
     force: bool = False,
     profile_top: int | None = None,
+    profile_out: str | Path | None = None,
 ) -> list[BenchResult]:
     """Run several benchmarks (default: all), optionally writing artifacts.
 
@@ -162,6 +190,8 @@ def run_all(
     crashed suite still leaves the completed artifacts behind.  Writing a
     different *tier* over an existing artifact is refused unless
     ``force`` is set (see :func:`_check_tier_overwrite`).
+    ``profile_top`` / ``profile_out`` pass through to
+    :func:`run_benchmark` (per-cell cProfile tables and raw dumps).
     """
     selected = list_benchmarks() if names is None else list(names)
     if out_dir is not None and not force:
@@ -171,7 +201,12 @@ def run_all(
         if progress is not None:
             progress(f"== {name} [{tier}] ==")
         result = run_benchmark(
-            name, tier=tier, seed=seed, progress=progress, profile_top=profile_top
+            name,
+            tier=tier,
+            seed=seed,
+            progress=progress,
+            profile_top=profile_top,
+            profile_out=profile_out,
         )
         if out_dir is not None:
             path = result.write(out_dir)

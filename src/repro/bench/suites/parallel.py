@@ -1,0 +1,63 @@
+"""Weak-scaling benchmark for the in-run sharded executor.
+
+One grid, two jobs.  First, the honest scaling curve: each (algorithm, n)
+pair runs at 1, 2 and 4 shard workers with the hot-path wall time
+recorded per cell (via the ``_wall_time_s`` override, so profiling and
+graph construction stay out of the number).  On single-core CI runners
+the curve is flat — that is the point of committing it; see the
+thread-pool rationale in :mod:`repro.util.parallel`.
+
+Second, the worker-count-invariance gate: every cell reports the SHA-256
+of its ``RunReport`` envelope (timing excluded).  The committed baseline
+carries the *same* digest for all worker counts of a pair, so the CI
+perf gate (`repro bench compare`, byte-exact on metrics) fails the
+moment any kernel picks up a chunk-shape dependence — without having to
+re-run the serial path inside each parallel cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+from repro.bench.registry import register_benchmark
+from repro.bench.runner import metrics_from_report
+from repro.bench.suites.common import session_for, weighted_gnm_with_mst_weight
+from repro.graphs import generators
+from repro.runtime.parallel import parallel_shards
+
+#: (algorithm, n, m_mult) pairs per tier; every pair runs at each worker count.
+_FULL_PAIRS = (("connectivity", 16384, 3), ("mst", 8192, 4))
+_QUICK_PAIRS = (("connectivity", 4096, 3), ("mst", 2048, 4))
+_WORKERS = (1, 2, 4)
+
+
+@register_benchmark(
+    "parallel_scaling",
+    title="Sharded executor: weak scaling and worker-count invariance",
+    group="scaling",
+    cells=[
+        {"algorithm": a, "n": n, "m_mult": mm, "k": 8, "workers": w}
+        for a, n, mm in _FULL_PAIRS
+        for w in _WORKERS
+    ],
+    quick_cells=[
+        {"algorithm": a, "n": n, "m_mult": mm, "k": 8, "workers": w}
+        for a, n, mm in _QUICK_PAIRS
+        for w in _WORKERS
+    ],
+    seed=9,
+)
+def _parallel_scaling(cell: dict, seed: int) -> dict:
+    n, workers = cell["n"], cell["workers"]
+    if cell["algorithm"] == "mst":
+        g, _ = weighted_gnm_with_mst_weight(n, cell["m_mult"], seed)
+    else:
+        g = generators.gnm_random(n, cell["m_mult"] * n, seed=seed)
+    session = session_for(g, seed=seed, k=cell["k"])
+    with parallel_shards(workers):
+        t0 = time.perf_counter()
+        r = session.run(cell["algorithm"])
+        wall = time.perf_counter() - t0
+    digest = hashlib.sha256(r.to_json(include_timing=False).encode("utf-8")).hexdigest()
+    return metrics_from_report(r, envelope_sha256=digest, _wall_time_s=wall)

@@ -275,6 +275,14 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
         "--partition-seed", type=int, default=None, help="pin the vertex-partition seed"
     )
     cfg.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-run shard workers (byte-identical output at any N; "
+        "default: REPRO_PARALLEL or serial)",
+    )
+    cfg.add_argument(
         "--param",
         action="append",
         type=_parse_param,
@@ -336,7 +344,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         graph = _corpus_graph(args)
     else:
         graph = _build_graph(args, seed)
-    report = Session(graph, config=config).run(args.algorithm)
+    report = Session(graph, config=config, parallel=args.parallel).run(args.algorithm)
     print(report.summary())
     if args.json:
         _emit_json([report], args.json, as_array=False)
@@ -351,7 +359,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     seed = resolve_seed(None, config.seed)
-    session = Session(config=config)
+    session = Session(config=config, parallel=args.parallel)
     if args.corpus is not None:
         if args.ns:
             raise ValueError("--corpus pins one input; it cannot sweep --ns")
@@ -499,6 +507,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             graph_cache_size=args.graph_cache,
             max_requests=args.max_requests,
             corpus=CorpusManager(args.corpus_root),
+            parallel=args.parallel,
         )
         host, port = await service.start(args.host, args.port)
         print(
@@ -608,6 +617,7 @@ def _cmd_bench_list(_args: argparse.Namespace) -> int:
 
 def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import list_benchmarks, run_all
+    from repro.runtime.parallel import parallel_shards
 
     if args.all:
         names = list_benchmarks()
@@ -619,21 +629,26 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     tier = "quick" if args.quick else "full"
     progress = None if args.quiet else print
     out_dir = args.out_dir
-    if args.profile:
+    profiling = args.profile or args.profile_out is not None
+    if profiling:
         # Profiled walls include instrumentation overhead: dump the hot-path
         # report but never write artifacts a perf gate could mistake for a
         # clean baseline.
         out_dir = None
         print("profiling enabled: BENCH_*.json artifacts are NOT written")
-    results = run_all(
-        names,
-        tier=tier,
-        seed=args.seed,
-        out_dir=out_dir,
-        progress=progress,
-        force=args.force,
-        profile_top=args.profile_top if args.profile else None,
-    )
+        if args.profile_out is not None:
+            print(f"raw cProfile dumps go to {args.profile_out}")
+    with parallel_shards(args.parallel):
+        results = run_all(
+            names,
+            tier=tier,
+            seed=args.seed,
+            out_dir=out_dir,
+            progress=progress,
+            force=args.force,
+            profile_top=args.profile_top if profiling else None,
+            profile_out=args.profile_out,
+        )
     for result in results:
         print(result.summary())
     return 0
@@ -744,6 +759,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="corpus directory for corpus-entry requests "
         "(default: $REPRO_CORPUS_DIR or ./corpus); shared across workers",
+    )
+    p_serve.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-run shard workers per session worker (byte-identical "
+        "reports at any N; default: REPRO_PARALLEL or serial)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -920,6 +943,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=12,
         metavar="N",
         help="rows of the per-cell profile table (default 12)",
+    )
+    pb_run.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="DIR",
+        help="with --profile: also write raw per-cell cProfile dumps to DIR "
+        "as <bench>__<cell>.prof (implies --profile)",
+    )
+    pb_run.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-run shard workers for every cell (byte-identical metrics "
+        "at any N; default: REPRO_PARALLEL or serial)",
     )
     pb_run.set_defaults(func=_cmd_bench_run)
 

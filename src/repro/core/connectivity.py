@@ -33,7 +33,7 @@ from repro.cluster.comm import CommStep
 from repro.cluster.shared_random import SharedRandomness
 from repro.core.drr import build_drr_forest, charge_forest_build, merge_forest
 from repro.core.labels import PartIndex, canonical_labels, initial_labels
-from repro.core.outgoing import select_outgoing_edges
+from repro.core.outgoing import select_outgoing_edges, sketch_prune_default
 from repro.core.proxy import proxy_of_labels
 from repro.runtime.config import SketchConfig, resolve_sketch
 from repro.util.bits import bits_for_id
@@ -180,6 +180,8 @@ def connected_components_distributed(
     # labels (DESIGN.md §9).
     parts: PartIndex | None = None
     inc_part: np.ndarray | None = None
+    inc_cross: np.ndarray | None = None
+    prune = sketch_prune_default()
     # Initial labels are the vertex ids, so the pre-loop component count
     # is exactly n (keeps a max_phases=0 call honest without an upfront
     # np.unique pass).
@@ -192,6 +194,8 @@ def connected_components_distributed(
         if parts is None:
             parts = PartIndex.build(labels, cluster.partition)
             inc_part = parts.part_of_vertex[cluster.inc_owner]
+            if prune:
+                inc_cross = labels[cluster.inc_owner] != labels[cluster.inc_other]
             n_components = parts.n_components
         selection = select_outgoing_edges(
             cluster,
@@ -202,6 +206,8 @@ def connected_components_distributed(
             inc_part=inc_part,
             repetitions=repetitions,
             hash_family=hash_family,
+            prune=prune,
+            inc_cross=inc_cross,
         )
         _charge_termination_check(cluster, phase)
         if not selection.sketch_nonzero.any():
@@ -266,6 +272,7 @@ def connected_components_distributed(
         )
         parts = None  # labels changed: rebuild the part structure next phase
         inc_part = None
+        inc_cross = None
     fu = np.concatenate(forest_u) if forest_u else np.empty(0, dtype=np.int64)
     fv = np.concatenate(forest_v) if forest_v else np.empty(0, dtype=np.int64)
     fm = np.concatenate(forest_m) if forest_m else np.empty(0, dtype=np.int64)

@@ -1,0 +1,29 @@
+"""Runtime-facing alias of the in-run shard executor.
+
+The implementation lives in :mod:`repro.util.parallel` — a leaf module,
+importable from the sketch kernels without touching the runtime package's
+import graph (``repro.runtime`` pulls in the Session, which pulls in the
+cluster and sketch layers; a sketch -> runtime import would be a cycle).
+Runtime and service code imports the executor from here so the public
+layering reads naturally: ``Session.run(parallel=N)`` and
+``repro.runtime.parallel`` go together, exactly as DESIGN.md §14
+describes.
+"""
+
+from repro.util.parallel import (
+    MIN_SHARD_ITEMS,
+    ShardPool,
+    active_pool,
+    parallel_default,
+    parallel_shards,
+    sharded,
+)
+
+__all__ = [
+    "MIN_SHARD_ITEMS",
+    "ShardPool",
+    "active_pool",
+    "parallel_default",
+    "parallel_shards",
+    "sharded",
+]

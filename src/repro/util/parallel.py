@@ -1,0 +1,190 @@
+"""In-run sharded execution: a thread pool over the GIL-releasing kernels.
+
+PR 5 vectorized the sketch hot paths; this module makes them run on more
+than one core *inside a single run*.  The per-phase work a machine does —
+hashing its incidences, computing sampling depths and fingerprint powers,
+scattering them into per-group accumulators — is pointwise or
+reduction-shaped over the incidence list, so it shards cleanly: split the
+incidence range into contiguous chunks, evaluate each chunk on a worker,
+and merge in chunk order.
+
+Why threads and not the Session process pool
+--------------------------------------------
+The Session already owns a ``ProcessPoolExecutor``, but it parallelizes
+*across* grid points: shipping a shard of one run to a worker process
+would pickle the phase's incidence arrays (tens of MB) both ways every
+iteration, which profiling shows costs more than the kernel work it
+offloads.  The sketch kernels are numpy ufuncs and ``bincount`` calls
+that release the GIL, so a thread pool shares the arrays at zero copies
+and the workers genuinely overlap.  On single-core containers the thread
+pool degrades to serial-with-scheduling-noise rather than to
+serial-plus-pickling.  (``BENCH_parallel_scaling`` records the honest
+curve for the host it ran on.)
+
+Determinism contract
+--------------------
+Sharding must be invisible in every output byte.  Each sharded kernel is
+either
+
+* **elementwise** in the incidence (hash values, depths, fingerprint
+  powers): concatenating per-chunk outputs in chunk order reproduces the
+  unchunked array exactly; or
+* an **exact integer reduction** (the signed int64 / 30-bit-split mod-p
+  scatter-adds of ``group_sums``): every per-chunk partial accumulator is
+  an exact integer array, and integer addition is associative, so summing
+  the partials in chunk order equals the unchunked scatter exactly.
+
+Therefore results are byte-identical at *any* worker count and *any*
+chunk boundary choice — ``RunReport`` envelopes from ``parallel=N`` match
+serial runs bit for bit (pinned by ``tests/runtime/test_parallel.py`` and
+gated by ``BENCH_parallel_scaling``).  See DESIGN.md §14.
+
+Usage
+-----
+The pool rides a :mod:`contextvars` context variable so the kernels deep
+inside :mod:`repro.sketch.l0` pick it up without threading a parameter
+through every layer::
+
+    with parallel_shards(4):
+        report = session.run("mst", graph)   # sharded
+    # or ambient via the environment: REPRO_PARALLEL=4
+
+``Session.run(..., parallel=N)`` and the CLI ``--parallel`` flags wrap
+exactly this context manager.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = [
+    "ShardPool",
+    "active_pool",
+    "parallel_default",
+    "parallel_shards",
+    "sharded",
+]
+
+_PARALLEL_ENV = "REPRO_PARALLEL"
+
+#: Inputs smaller than this run unsharded even under an active pool: the
+#: submit/merge overhead would exceed the kernel time.  Purely a perf
+#: knob — chunk boundaries never affect output bytes (see module proof).
+MIN_SHARD_ITEMS = 8192
+
+_ACTIVE: contextvars.ContextVar["ShardPool | None"] = contextvars.ContextVar(
+    "repro_shard_pool", default=None
+)
+
+
+def parallel_default() -> int | None:
+    """The ambient worker-count default from ``REPRO_PARALLEL``.
+
+    Returns ``None`` when the variable is unset or empty (meaning
+    "inherit whatever pool is already active"), else the parsed count
+    (floored at 1; ``REPRO_PARALLEL=1`` explicitly forces serial).
+    """
+    raw = os.environ.get(_PARALLEL_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(f"{_PARALLEL_ENV} must be an integer, got {raw!r}") from None
+
+
+def active_pool() -> "ShardPool | None":
+    """The shard pool of the current context (None: run kernels serially)."""
+    return _ACTIVE.get()
+
+
+class ShardPool:
+    """``workers`` threads plus the deterministic chunk/merge protocol.
+
+    The pool itself is just a :class:`ThreadPoolExecutor`; the value of
+    this class is :meth:`map_ranges`, which owns the *deterministic*
+    chunking (contiguous ranges in index order) and returns per-chunk
+    results in chunk order so callers can merge by concatenation or
+    exact-integer summation (see the module determinism contract).
+
+    Thread-safe: several runs may share one pool concurrently (the
+    service's worker sessions do); each ``map_ranges`` call only touches
+    its own futures.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError(f"a ShardPool needs >= 2 workers, got {workers}")
+        self.workers = int(workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-shard"
+        )
+
+    def ranges(self, n_items: int) -> list[tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` shard ranges covering ``range(n_items)``.
+
+        At most ``workers`` chunks, each at least ``MIN_SHARD_ITEMS``
+        long (except possibly the last); depends only on ``n_items`` and
+        the worker count, never on runtime state.
+        """
+        if n_items <= 0:
+            return []
+        chunks = min(self.workers, max(1, n_items // MIN_SHARD_ITEMS))
+        if chunks <= 1:
+            return [(0, n_items)]
+        step = -(-n_items // chunks)  # ceil division
+        return [(lo, min(lo + step, n_items)) for lo in range(0, n_items, step)]
+
+    def map_ranges(self, fn, n_items: int) -> list:
+        """``[fn(lo, hi) for lo, hi in ranges(n_items)]``, chunks in parallel.
+
+        Results come back in chunk order regardless of completion order —
+        the merge-order half of the determinism contract.  Worker
+        exceptions propagate to the caller unchanged.
+        """
+        spans = self.ranges(n_items)
+        if len(spans) <= 1:
+            return [fn(lo, hi) for lo, hi in spans]
+        futures = [self._executor.submit(fn, lo, hi) for lo, hi in spans]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        """Tear the worker threads down (idempotent)."""
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+@contextlib.contextmanager
+def sharded(pool: ShardPool | None):
+    """Install ``pool`` (or explicit serial, with ``None``) for the block."""
+    token = _ACTIVE.set(pool)
+    try:
+        yield pool
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextlib.contextmanager
+def parallel_shards(workers: int | None):
+    """Run the block with a transient ``workers``-thread shard pool.
+
+    ``workers=None`` reads :func:`parallel_default`; an unset environment
+    (or ``workers <= 1``) runs the block with sharding explicitly off —
+    entering the context always *overrides* any ambient pool, it never
+    stacks.  Long-lived holders (the Session, the service) should own a
+    :class:`ShardPool` and use :func:`sharded` instead of paying thread
+    startup per run.
+    """
+    w = parallel_default() if workers is None else max(1, int(workers))
+    if w is None or w <= 1:
+        with sharded(None):
+            yield None
+        return
+    pool = ShardPool(w)
+    try:
+        with sharded(pool):
+            yield pool
+    finally:
+        pool.shutdown()

@@ -1,0 +1,157 @@
+"""Property suite: late-phase incidence pruning is byte-invisible.
+
+``select_outgoing_edges(prune=True)`` drops component-internal incidence
+pairs before sketching; the docstring in :mod:`repro.core.outgoing`
+proves their contributions cancel exactly, so the pruned and legacy
+paths must agree on every output byte — selections, ledger charges, and
+full-run envelopes — across graph families x seeds x phase depths.
+Hypothesis drives the family/seed/phase axes; any counterexample it
+finds is a hole in the cancellation proof, not measurement noise.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import generators as gen
+from repro.cluster.cluster import KMachineCluster
+from repro.cluster.shared_random import SharedRandomness
+from repro.core.labels import initial_labels
+from repro.core.outgoing import select_outgoing_edges, sketch_prune_default
+from repro.runtime import ClusterConfig, RunConfig, Session
+
+#: name -> graph factory; spans dense random, high-diameter, and
+#: multi-component families (the late-phase shapes differ in each).
+FAMILIES = {
+    "gnm": lambda seed: gen.gnm_random(96, 288, seed=seed),
+    "cycle": lambda seed: gen.cycle_graph(90),
+    "lollipop": lambda seed: gen.lollipop(clique_size=24, path_len=56),
+    "disjoint": lambda seed: gen.disjoint_union(
+        [gen.path_graph(30), gen.cycle_graph(30), gen.gnm_random(30, 60, seed=seed)]
+    ),
+}
+
+
+def _selection_state(sel) -> tuple:
+    """Every output byte of a selection, as comparable objects."""
+    return (
+        sel.parts.comp_labels.tobytes(),
+        sel.comp_proxy.tobytes(),
+        sel.sketch_nonzero.tobytes(),
+        sel.found.tobytes(),
+        sel.slot.tobytes(),
+        sel.internal_vertex.tobytes(),
+        sel.foreign_vertex.tobytes(),
+        sel.neighbor_label.tobytes(),
+        sel.edge_weight.tobytes(),
+    )
+
+
+def _ledger_state(cluster) -> list:
+    """The charge stream: label, rounds, and bits of every step, in order."""
+    return [(s.label, s.rounds, s.total_bits) for s in cluster.ledger.steps]
+
+
+def _merge(labels: np.ndarray, sel) -> np.ndarray:
+    """Deterministic label merge along found edges (pointer-jumped union).
+
+    Not the production merge rule — any coherent merge works here; the
+    point is to reach deeper phases with realistic multi-vertex
+    components so the pruned fraction is non-trivial.
+    """
+    parent = np.arange(labels.max() + 1, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for ci in np.nonzero(sel.found)[0]:
+        a = find(int(sel.parts.comp_labels[ci]))
+        b = find(int(sel.neighbor_label[ci]))
+        if a != b:
+            parent[max(a, b)] = min(a, b)
+    return np.array([find(int(l)) for l in labels], dtype=np.int64)
+
+
+@given(
+    family=st.sampled_from(sorted(FAMILIES)),
+    seed=st.integers(min_value=0, max_value=50),
+    phases=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_selection_bytes_identical_across_phases(family, seed, phases):
+    """Pruned == legacy at every phase of a Boruvka-style label evolution."""
+    g = FAMILIES[family](seed)
+    labels = initial_labels(g.n)
+    for phase in range(1, phases + 1):
+        states, ledgers = [], []
+        for prune in (False, True):
+            cl = KMachineCluster.create(g, k=4, seed=seed)
+            shared = SharedRandomness(master_seed=seed, n=g.n, k=4)
+            sel = select_outgoing_edges(cl, shared, labels, phase=phase, prune=prune)
+            states.append(_selection_state(sel))
+            ledgers.append(_ledger_state(cl))
+        assert states[0] == states[1], f"selection diverged at phase {phase}"
+        assert ledgers[0] == ledgers[1], f"ledger charges diverged at phase {phase}"
+        labels = _merge(labels, sel)
+        if np.unique(labels).size == 1:
+            break
+
+
+@given(seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=15, deadline=None)
+def test_selection_identical_under_weight_bound(seed):
+    """The MST path: per-component weight bounds prune asymmetrically."""
+    g = gen.with_unique_weights(gen.gnm_random(80, 240, seed=seed), seed=seed)
+    labels = (np.arange(g.n, dtype=np.int64) % 8) * (g.n // 8)
+    labels = np.sort(labels)  # 8 components, canonical smallest-member labels
+    n_comp = np.unique(labels).size
+    rng = np.random.default_rng(seed)
+    bound = rng.uniform(0.2, 1.0, size=n_comp)
+    states = []
+    for prune in (False, True):
+        cl = KMachineCluster.create(g, k=4, seed=seed)
+        shared = SharedRandomness(master_seed=seed, n=g.n, k=4)
+        sel = select_outgoing_edges(
+            cl,
+            shared,
+            labels,
+            phase=2,
+            weight_bound_per_comp=bound,
+            want_weights=True,
+            prune=prune,
+        )
+        states.append(_selection_state(sel))
+    assert states[0] == states[1]
+
+
+@pytest.mark.parametrize("algorithm", ["connectivity", "mst"])
+@given(family=st.sampled_from(sorted(FAMILIES)), seed=st.integers(min_value=0, max_value=20))
+@settings(max_examples=10, deadline=None)
+def test_full_run_envelopes_identical(algorithm, family, seed):
+    """End to end: REPRO_SKETCH_PRUNE=0 and the default produce the same bytes."""
+    g = FAMILIES[family](seed)
+    if algorithm == "mst":
+        g = gen.with_unique_weights(g, seed=seed)
+    cfg = RunConfig(seed=seed, cluster=ClusterConfig(k=4))
+    saved = os.environ.get("REPRO_SKETCH_PRUNE")
+    try:
+        os.environ["REPRO_SKETCH_PRUNE"] = "0"
+        assert not sketch_prune_default()
+        legacy = Session(g, config=cfg).run(algorithm).to_json(include_timing=False)
+        os.environ.pop("REPRO_SKETCH_PRUNE")
+        assert sketch_prune_default()
+        pruned = Session(g, config=cfg).run(algorithm).to_json(include_timing=False)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SKETCH_PRUNE", None)
+        else:
+            os.environ["REPRO_SKETCH_PRUNE"] = saved
+    assert legacy == pruned

@@ -1,0 +1,211 @@
+"""Sharded execution: chunking determinism and worker-count invariance.
+
+The contract under test (DESIGN.md §14): the shard pool must be invisible
+in every output byte.  ``RunReport`` envelopes produced at any
+``parallel=N`` must match the serial run bit for bit, because the sharded
+kernels are either elementwise (chunk concatenation reproduces the
+unchunked array) or exact-integer reductions (partial sums are
+associative).  A failure here means a kernel picked up a chunk-shape
+dependence — float accumulation, order-sensitive hashing, or a merge
+outside chunk order.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import generators
+from repro.runtime import ClusterConfig, RunConfig, Session
+from repro.util.parallel import (
+    MIN_SHARD_ITEMS,
+    ShardPool,
+    active_pool,
+    parallel_default,
+    parallel_shards,
+    sharded,
+)
+
+
+def _graph(weighted: bool):
+    g = generators.gnm_random(600, 2400, seed=7)
+    return generators.with_unique_weights(g, seed=7) if weighted else g
+
+
+# ---------------------------------------------------------------------------
+# ShardPool mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_pool_requires_two_workers():
+    with pytest.raises(ValueError):
+        ShardPool(1)
+
+
+def test_ranges_cover_contiguously():
+    pool = ShardPool(4)
+    try:
+        for n in (0, 1, MIN_SHARD_ITEMS - 1, MIN_SHARD_ITEMS, 3 * MIN_SHARD_ITEMS + 17):
+            spans = pool.ranges(n)
+            assert len(spans) <= pool.workers
+            # Contiguous, in order, covering [0, n) exactly.
+            expect_lo = 0
+            for lo, hi in spans:
+                assert lo == expect_lo and hi > lo
+                expect_lo = hi
+            assert expect_lo == n
+    finally:
+        pool.shutdown()
+
+
+def test_small_inputs_stay_single_chunk():
+    """Below MIN_SHARD_ITEMS the submit overhead isn't worth it."""
+    pool = ShardPool(8)
+    try:
+        assert pool.ranges(MIN_SHARD_ITEMS - 1) == [(0, MIN_SHARD_ITEMS - 1)]
+        assert len(pool.ranges(8 * MIN_SHARD_ITEMS)) == 8
+    finally:
+        pool.shutdown()
+
+
+def test_map_ranges_returns_chunk_order():
+    """Results line up with ranges() regardless of completion order."""
+    pool = ShardPool(4)
+    try:
+        n = 4 * MIN_SHARD_ITEMS
+        gate = threading.Event()
+
+        def fn(lo, hi):
+            if lo == 0:
+                gate.wait(timeout=10)  # first chunk finishes last
+            else:
+                gate.set()
+            return (lo, hi)
+
+        assert pool.map_ranges(fn, n) == pool.ranges(n)
+    finally:
+        pool.shutdown()
+
+
+def test_map_ranges_propagates_worker_errors():
+    pool = ShardPool(2)
+    try:
+        def boom(lo, hi):
+            raise RuntimeError("shard failed")
+
+        with pytest.raises(RuntimeError, match="shard failed"):
+            pool.map_ranges(boom, 4 * MIN_SHARD_ITEMS)
+    finally:
+        pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Ambient-pool plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_default_env_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    assert parallel_default() is None
+    monkeypatch.setenv("REPRO_PARALLEL", "")
+    assert parallel_default() is None
+    monkeypatch.setenv("REPRO_PARALLEL", "4")
+    assert parallel_default() == 4
+    monkeypatch.setenv("REPRO_PARALLEL", "0")
+    assert parallel_default() == 1  # floored: explicit serial
+    monkeypatch.setenv("REPRO_PARALLEL", "three")
+    with pytest.raises(ValueError):
+        parallel_default()
+
+
+def test_parallel_shards_overrides_ambient(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    assert active_pool() is None
+    with parallel_shards(2) as outer:
+        assert active_pool() is outer and outer.workers == 2
+        with parallel_shards(1):
+            assert active_pool() is None  # explicit serial, no stacking
+        assert active_pool() is outer
+    assert active_pool() is None
+
+
+def test_parallel_shards_reads_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "2")
+    with parallel_shards(None) as pool:
+        assert pool is not None and pool.workers == 2
+    monkeypatch.setenv("REPRO_PARALLEL", "1")
+    with parallel_shards(None) as pool:
+        assert pool is None
+
+
+def test_sharded_restores_previous_pool():
+    pool = ShardPool(2)
+    try:
+        with sharded(pool):
+            assert active_pool() is pool
+            with sharded(None):
+                assert active_pool() is None
+            assert active_pool() is pool
+        assert active_pool() is None
+    finally:
+        pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Worker-count invariance of full runs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["connectivity", "mst"])
+def test_envelopes_identical_at_any_worker_count(algorithm):
+    g = _graph(weighted=algorithm == "mst")
+    cfg = RunConfig(seed=11, cluster=ClusterConfig(k=6))
+    baseline = Session(g, config=cfg).run(algorithm).to_json(include_timing=False)
+    for workers in (1, 2, 4):
+        sess = Session(g, config=cfg, parallel=workers)
+        try:
+            got = sess.run(algorithm).to_json(include_timing=False)
+        finally:
+            sess.close()
+        assert got == baseline, f"parallel={workers} diverged from serial"
+
+
+def test_run_parallel_argument_overrides_session_default():
+    g = _graph(weighted=False)
+    cfg = RunConfig(seed=11, cluster=ClusterConfig(k=6))
+    baseline = Session(g, config=cfg).run("connectivity").to_json(include_timing=False)
+    sess = Session(g, config=cfg, parallel=1)
+    try:
+        got = sess.run("connectivity", parallel=3).to_json(include_timing=False)
+    finally:
+        sess.close()
+    assert got == baseline
+
+
+def test_env_parallel_matches_serial(monkeypatch):
+    g = _graph(weighted=False)
+    cfg = RunConfig(seed=11, cluster=ClusterConfig(k=6))
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    baseline = Session(g, config=cfg).run("connectivity").to_json(include_timing=False)
+    monkeypatch.setenv("REPRO_PARALLEL", "2")
+    sess = Session(g, config=cfg)
+    try:
+        got = sess.run("connectivity").to_json(include_timing=False)
+    finally:
+        sess.close()
+    assert got == baseline
+
+
+def test_sequential_sweep_parallel_matches_serial():
+    g = _graph(weighted=False)
+    cfg = RunConfig(cluster=ClusterConfig(k=4))
+    serial = Session(g, config=cfg).sweep("connectivity", seeds=[1, 2], processes=1)
+    sess = Session(g, config=cfg, parallel=2)
+    try:
+        shard = sess.sweep("connectivity", seeds=[1, 2], processes=1)
+    finally:
+        sess.close()
+    assert [r.to_json(include_timing=False) for r in serial] == [
+        r.to_json(include_timing=False) for r in shard
+    ]
